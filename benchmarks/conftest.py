@@ -1,0 +1,32 @@
+"""Benchmark-harness fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures, prints it,
+and archives it under ``benchmarks/results/`` so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+evaluation on disk (EXPERIMENTS.md records a reference run).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report to benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text, flush=True)
+
+    return write
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

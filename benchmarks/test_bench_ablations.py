@@ -1,0 +1,78 @@
+"""Benches: ablations over DHS design knobs (sections 3.5 and 4.1).
+
+* retry budget ``lim`` — accuracy vs probe surcharge;
+* replication degree ``R`` under 25% node crashes;
+* bit-shift mapping ``b`` — write savings vs accuracy;
+* overlay substrate — Chord vs Kademlia (DHT-agnosticism).
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_bitshift_ablation,
+    run_lim_ablation,
+    run_overlay_comparison,
+    run_replication_ablation,
+)
+
+
+def test_bench_ablation_retries(benchmark, report_writer):
+    rows = run_once(benchmark, run_lim_ablation, seed=1)
+    report_writer(
+        "ablation_retries",
+        format_ablation("Retry budget ablation (section 4.1)", "nodes visited", rows),
+    )
+    by = {row.label: row for row in rows}
+    # Starving the probe budget destroys accuracy; the default heals it.
+    assert by["lim=1"].error_pct > by["lim=5"].error_pct
+    # Extra budget beyond the default costs probes/bandwidth for little
+    # extra accuracy (hops can even dip slightly: intervals confirm and
+    # exit earlier when more of their bits are found).
+    assert by["lim=10"].bytes_kb > by["lim=5"].bytes_kb
+    assert by["lim=10"].extra > by["lim=5"].extra  # nodes visited
+    assert by["lim=10"].error_pct <= by["lim=5"].error_pct + 3
+
+
+def test_bench_ablation_replication(benchmark, report_writer):
+    rows = run_once(benchmark, run_replication_ablation, seed=1)
+    report_writer(
+        "ablation_replication",
+        format_ablation(
+            "Replication under 25% crashes (section 3.5)", "hops/insert", rows
+        ),
+    )
+    by = {row.label: row for row in rows}
+    # Replicas recover accuracy lost to crashes.
+    assert by["R=4"].error_pct < by["R=0"].error_pct
+    # At constant R the insert surcharge is a constant number of hops.
+    assert by["R=4"].extra > by["R=0"].extra
+
+
+def test_bench_ablation_bitshift(benchmark, report_writer):
+    rows = run_once(benchmark, run_bitshift_ablation, seed=1)
+    report_writer(
+        "ablation_bitshift",
+        format_ablation(
+            "Bit-shift mapping ablation (section 3.5)", "insert kB", rows
+        ),
+    )
+    by = {row.label: row for row in rows}
+    # Skipping the first b positions slashes write traffic...
+    assert by["b=4"].extra < 0.5 * by["b=0"].extra
+    # ...while estimates stay usable (cardinality >> 2^b here).
+    assert by["b=4"].error_pct < by["b=0"].error_pct + 15
+
+
+def test_bench_overlay_agnosticism(benchmark, report_writer):
+    rows = run_once(benchmark, run_overlay_comparison, seed=1)
+    report_writer(
+        "overlay_agnosticism",
+        format_ablation("DHS over Chord vs Kademlia vs Pastry", "nodes visited", rows),
+    )
+    by = {row.label: row for row in rows}
+    # Same accuracy class on every geometry, costs within a small factor.
+    for other in ("kademlia", "pastry"):
+        assert abs(by["chord"].error_pct - by[other].error_pct) < 15
+        assert by[other].hops < 3 * by["chord"].hops
+        assert by["chord"].hops < 4 * by[other].hops

@@ -1,0 +1,30 @@
+"""Bench: accuracy vs number of bitmaps (section 5.2, "Accuracy").
+
+Paper reference: average error ~2.9% (PCSA) / ~5% (sLL) through the
+moderate-m range, then a collapse once lim=5 probes stop finding the
+sparse per-bitmap bits: at m=4096 PCSA degrades to ~44% versus sLL's
+~15% — sLL tolerates the miss regime far better.  The collapse point
+scales with alpha = n/(2mN); at reproduction scale it appears at the
+top of the same sweep.
+"""
+
+from conftest import run_once
+
+from repro.experiments.accuracy import format_accuracy, run_accuracy_sweep
+
+
+def test_bench_accuracy_vs_bitmaps(benchmark, report_writer):
+    rows = run_once(benchmark, run_accuracy_sweep, seed=1)
+    report_writer("accuracy_vs_m", format_accuracy(rows))
+
+    by = {(row.m, row.estimator): row for row in rows}
+    # Moderate m: single-digit errors, improving with m.
+    assert by[(512, "sll")].error_pct < 10
+    assert by[(512, "pcsa")].error_pct < 10
+    assert by[(512, "sll")].error_pct < by[(64, "sll")].error_pct + 2
+    # Collapse regime at the top of the sweep: PCSA degrades much
+    # faster than sLL (the paper's 44% vs 15% at m=4096).
+    assert by[(4096, "pcsa")].error_pct > by[(4096, "sll")].error_pct
+    assert by[(4096, "pcsa")].error_pct > 2 * by[(512, "pcsa")].error_pct
+    # The collapse is an *under*estimate (missed bits), as predicted.
+    assert by[(4096, "pcsa")].bias_pct < 0

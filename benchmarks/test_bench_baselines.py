@@ -1,0 +1,46 @@
+"""Bench: DHS versus the four related-work families (section 1).
+
+Quantifies the constraint violations the paper attributes to each
+family: single-node hotspots (constraints 2/3), gossip's multi-round
+cost (1) and duplicate sensitivity (6), convergecast's touch-every-node
+cost (1/3), and sampling's error + duplicate sensitivity (4/6).
+"""
+
+from conftest import run_once
+
+from repro.experiments.baselines import format_baselines, run_baseline_comparison
+
+
+def test_bench_baseline_comparison(benchmark, report_writer):
+    rows = run_once(benchmark, run_baseline_comparison, seed=1)
+    report_writer("baselines", format_baselines(rows, "(distinct truth: 20,000)"))
+
+    by = {row.method: row for row in rows}
+    dhs = by["DHS (sLL)"]
+
+    # Duplicate insensitivity (constraint 6).
+    assert dhs.duplicate_insensitive
+    assert not by["push-sum gossip"].duplicate_insensitive
+    assert not by["node sampling"].duplicate_insensitive
+    # The duplicate-sensitive families overestimate the distinct count.
+    assert by["push-sum gossip"].estimate > 1.5 * dhs.estimate
+    assert by["node sampling"].estimate > 1.5 * dhs.estimate
+
+    # Load balance (constraints 2/3): the single-node counter's hotspot
+    # dwarfs DHS's spread (updates + query measured alike).
+    assert dhs.load_imbalance < by["single-node counter"].load_imbalance / 3
+
+    # Efficiency (constraint 1): DHS's one-shot query needs far fewer
+    # hops than gossip's rounds or convergecast's full sweep.
+    assert dhs.query_hops < by["push-sum gossip"].query_hops / 5
+    assert dhs.query_hops < by["convergecast (sketch)"].query_hops / 2
+    assert by["push-sum gossip"].rounds > 1
+
+    # Sketch gossip fixes duplicates but pays sketch-sized messages
+    # every round on every node — still a constraint-1 violation.
+    assert by["sketch gossip"].duplicate_insensitive
+    assert by["sketch gossip"].rounds > 1
+    assert by["sketch gossip"].query_bytes > 20 * dhs.query_bytes
+
+    # Accuracy (constraint 4): DHS lands within sketch tolerance.
+    assert dhs.error_pct < 20

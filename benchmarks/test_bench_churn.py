@@ -1,0 +1,31 @@
+"""Bench: soft-state maintenance under churn (section 3.3).
+
+The paper's TTL trade-off, measured: shorter TTL + frequent refresh
+tracks a drifting cardinality best but costs the most refresh
+bandwidth; no refresh decays to zero; immortal entries over-count
+departed items.
+"""
+
+from conftest import run_once
+
+from repro.experiments.churn import format_churn, run_churn_experiment
+
+
+def test_bench_churn_policies(benchmark, report_writer):
+    rows = run_once(benchmark, run_churn_experiment, seed=1)
+    report_writer("churn_policies", format_churn(rows))
+
+    by = {row.label: row for row in rows}
+    tight = by["ttl=4, refresh every 2"]
+    lazy = by["ttl=16, refresh every 8"]
+    decayed = by["ttl=4, refresh never"]
+    immortal = by["ttl=inf, refresh never"]
+
+    # Tight maintenance tracks best — and pays the most bandwidth.
+    assert tight.mean_error_pct < lazy.mean_error_pct
+    assert tight.mean_error_pct < immortal.mean_error_pct
+    assert tight.refresh_kb > lazy.refresh_kb > 0
+    # TTL without refresh silently decays (worst of all).
+    assert decayed.mean_error_pct > tight.mean_error_pct
+    assert decayed.final_error_pct > 50
+    assert decayed.refresh_kb == 0

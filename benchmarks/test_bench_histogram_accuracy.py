@@ -1,0 +1,29 @@
+"""Bench: per-cell histogram accuracy (section 5.2, text).
+
+Paper reference: mean per-cell error ~8.6% at m=64, ~7.7% at 128,
+~6.8% at 256 — tracking the sketch's O(1/sqrt(m)) noise because probe
+misses are negligible in the measured regime.
+"""
+
+from conftest import run_once
+
+from repro.experiments.histogram_accuracy import (
+    format_histogram_accuracy,
+    run_histogram_accuracy,
+)
+
+
+def test_bench_histogram_cell_error(benchmark, report_writer):
+    rows = run_once(benchmark, run_histogram_accuracy, seed=1)
+    report_writer("histogram_accuracy", format_histogram_accuracy(rows))
+
+    by = {(row.m, row.estimator): row for row in rows}
+    # Error declines from m=64 to m=256 (the paper's 8.6 -> 6.8).
+    assert by[(256, "sll")].cell_error_pct < by[(64, "sll")].cell_error_pct
+    assert by[(128, "pcsa")].cell_error_pct < by[(64, "pcsa")].cell_error_pct + 2
+    # And stays within a small factor of the sketch-theoretic sigma.
+    for estimator in ("sll", "pcsa"):
+        assert (
+            by[(256, estimator)].cell_error_pct
+            < 4 * by[(256, estimator)].sketch_sigma_pct
+        )

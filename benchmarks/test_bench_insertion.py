@@ -1,0 +1,25 @@
+"""Bench: insertion & maintenance costs (paper section 5.2, text).
+
+Paper reference (1024 nodes, m=512, 100 buckets): ~3.4 hops and ~27 B
+per insertion; ~384 kB storage per node per relation, vs a ~400 kB
+theoretical worst case.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.insertion import run_insertion_experiment
+
+
+def test_bench_insertion_costs(benchmark, report_writer):
+    report = run_once(benchmark, run_insertion_experiment, seed=1)
+    report_writer("insertion_costs", report.format())
+
+    # O(log N) routing: within a small factor of log2(N).
+    assert 1.0 < report.mean_hops_per_insert < 1.5 * math.log2(report.n_nodes)
+    # The byte model: tuple size (8 B) carried per hop.
+    assert report.mean_bytes_per_insert == 8 * report.mean_hops_per_insert
+    # Storage bounded by the paper's worst case (I x m x b per node).
+    assert report.mean_storage_bytes_per_node <= report.theoretical_worst_case_bytes
+    assert report.max_storage_bytes_per_node <= 3 * report.theoretical_worst_case_bytes

@@ -1,0 +1,22 @@
+"""Bench: multi-dimension counting (section 4.2).
+
+The claim: counting many metrics at once costs the hops of counting one
+(the bit→interval mapping is shared across bitmaps and dimensions);
+only response bytes grow with the number of dimensions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.multidim import format_multidim, run_multidim
+
+
+def test_bench_multidim_counting(benchmark, report_writer):
+    rows = run_once(benchmark, run_multidim, seed=1)
+    report_writer("multidim", format_multidim(rows))
+
+    one = next(r for r in rows if r.metrics == 1)
+    most = max(rows, key=lambda r: r.metrics)
+    # 64x the dimensions: bytes grow manyfold...
+    assert most.bytes_kb > 8 * one.bytes_kb
+    # ...but hops stay in the same band (not remotely 64x).
+    assert most.hops < 4 * one.hops

@@ -1,0 +1,26 @@
+"""Bench: counting under undetected failures (section 3.5).
+
+The paper: with R replicas the probability of losing DHS bit
+information is p_f^R — negligible for practical R.  Measured with the
+lazy failure model (crashes discovered on contact): the unreplicated
+deployment degrades steeply with p_f while R=3 stays at its
+failure-free error.
+"""
+
+from conftest import run_once
+
+from repro.experiments.robustness import format_robustness, run_failure_robustness
+
+
+def test_bench_failure_robustness(benchmark, report_writer):
+    rows = run_once(benchmark, run_failure_robustness, seed=1)
+    report_writer("failure_robustness", format_robustness(rows))
+
+    by = {(row.p_f, row.replication): row for row in rows}
+    # Without replication, undetected failures destroy accuracy...
+    assert by[(0.3, 0)].error_pct > by[(0.0, 0)].error_pct + 10
+    # ...while R=3 holds the failure-free error through the whole sweep.
+    assert by[(0.3, 3)].error_pct < by[(0.0, 3)].error_pct + 5
+    assert by[(0.3, 3)].error_pct < by[(0.3, 0)].error_pct / 3
+    # Routing around corpses costs extra hops, but not catastrophically.
+    assert by[(0.3, 0)].hops < 3 * by[(0.0, 0)].hops

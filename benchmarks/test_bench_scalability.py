@@ -1,0 +1,31 @@
+"""Bench: scalability figure (section 5.2, "Scalability"; figure omitted
+in the paper).
+
+Paper reference: counting hops grow from ~109/97 (sLL/PCSA) at 1024
+nodes to only ~112/103 at 10240 nodes — logarithmic scaling.  The sweep
+covers 256..4096 by default; set DHS_BENCH_BIG=1 to add 10240.
+"""
+
+import math
+import os
+
+from conftest import run_once
+
+from repro.experiments.scalability import format_scalability, run_scalability
+
+
+def test_bench_scalability(benchmark, report_writer):
+    node_counts = (256, 1024, 4096)
+    if os.environ.get("DHS_BENCH_BIG"):
+        node_counts = (256, 1024, 4096, 10240)
+    rows = run_once(benchmark, run_scalability, node_counts=node_counts, seed=1)
+    report_writer("scalability", format_scalability(rows))
+
+    by = {(row.n_nodes, row.estimator): row for row in rows}
+    for estimator in ("sll", "pcsa"):
+        small = by[(256, estimator)].hops
+        large = by[(4096, estimator)].hops
+        # 16x the nodes: hops grow, but by at most ~log ratio, not 16x.
+        growth = large / small
+        assert growth < math.log2(4096) / math.log2(256) * 2.5
+        assert large >= small * 0.8  # no pathological shrinkage either

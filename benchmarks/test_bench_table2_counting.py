@@ -1,0 +1,39 @@
+"""Bench: Table 2 — counting costs and accuracy (sLL / PCSA).
+
+Paper reference (N=1024, n=10-80M):
+
+    m     nodes    hops       BW (kB)      error (%)
+    128   68/65    86/69      11.0/8.8     5.0/5.8
+    256   73/69    92/77      11.8/9.6     3.5/4.3
+    512   81/80    120/114    15.4/15.9    1.8/2.7
+    1024  96/91    139/128    17.8/16.0    1.1/7.5
+
+Reproduced shape: error falls as ~1/sqrt(m) until the probe-miss regime,
+bandwidth grows with m, hop count stays within a small O(k log N) band.
+The workload AND network are scaled together to preserve the
+alpha = n/(2mN) ratio that governs probe success (see EXPERIMENTS.md).
+"""
+
+from conftest import run_once
+
+from repro.experiments.common import env_scale
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2_counting(benchmark, report_writer):
+    rows = run_once(benchmark, run_table2, seed=1)
+    report_writer("table2_counting", format_table2(rows, env_scale(2e-2)))
+
+    by = {(row.m, row.estimator): row for row in rows}
+    for estimator in ("sll", "pcsa"):
+        # Errors are single-digit percentages throughout, like the paper,
+        # and m=1024 is no worse than m=128 beyond trial noise.
+        for m in (128, 256, 512, 1024):
+            assert by[(m, estimator)].error_pct < 10
+        assert (
+            by[(1024, estimator)].error_pct
+            < by[(128, estimator)].error_pct + 2.5
+        )
+        # Bandwidth grows with m; hop count must not scale with m.
+        assert by[(1024, estimator)].bw_kbytes > by[(128, estimator)].bw_kbytes
+        assert by[(1024, estimator)].hops < 4 * by[(128, estimator)].hops

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Distributed search-engine scenario: keyword significance via DHS.
+
+The paper's information-retrieval motivation: a P2P search engine needs
+each keyword's significance — the ratio of distinct documents containing
+the keyword to the total number of distinct indexed documents (an IDF
+flavour).  Both numerator and denominator are distinct counts over data
+scattered (and replicated) across peers, i.e. exactly DHS's job: one
+metric per keyword plus one for the corpus, all readable in one scan.
+
+Run:  python examples/search_engine_ranking.py
+"""
+
+import math
+
+from repro import ChordRing, DHSConfig, DistributedHashSketch
+from repro.sim.seeds import rng_for
+from repro.workloads.zipf import ZipfGenerator
+
+N_PEERS = 256
+N_DOCS = 40_000
+KEYWORDS = ["database", "network", "cardinality", "sketch", "epsilon"]
+#: Fraction of documents containing each keyword (ground truth).
+KEYWORD_DF = [0.30, 0.12, 0.05, 0.02, 0.004]
+REPLICAS = 2  # each document indexed by 2 peers
+
+
+def main() -> None:
+    ring = ChordRing.build(N_PEERS, seed=31)
+    dhs = DistributedHashSketch(ring, DHSConfig(num_bitmaps=256), seed=31)
+    peers = list(ring.node_ids())
+    rng = rng_for(31, "docs")
+    zipf = ZipfGenerator(N_PEERS, theta=0.5)
+
+    truth = {keyword: 0 for keyword in KEYWORDS}
+    for doc in range(N_DOCS):
+        doc_id = f"doc:{doc}"
+        indexers = rng.sample(peers, REPLICAS)
+        contains = [
+            keyword
+            for keyword, df in zip(KEYWORDS, KEYWORD_DF)
+            if rng.random() < df
+        ]
+        for keyword in contains:
+            truth[keyword] += 1
+        for peer in indexers:  # replicated indexing => duplicate reports
+            dhs.insert_bulk("corpus", [doc_id], origin=peer)
+            for keyword in contains:
+                dhs.insert_bulk(("kw", keyword), [doc_id], origin=peer)
+    print(f"{N_DOCS:,} documents indexed by {REPLICAS} peers each on {N_PEERS} nodes")
+
+    querier = peers[int(zipf.sample(1, seed=9)[0]) % len(peers)]
+    metrics = ["corpus"] + [("kw", keyword) for keyword in KEYWORDS]
+    result = dhs.count_many(metrics, origin=querier)
+    corpus = result.estimates["corpus"]
+    print(f"\ncorpus size estimate: {corpus:,.0f} (truth {N_DOCS:,}); "
+          f"scan cost {result.cost.hops} hops / {result.cost.bytes / 1024:.1f} kB\n")
+    print(f"{'keyword':<12} {'df est':>9} {'df true':>9} {'IDF est':>8} {'IDF true':>9}")
+    for keyword in KEYWORDS:
+        df_est = result.estimates[("kw", keyword)]
+        df_true = truth[keyword]
+        idf_est = math.log((corpus + 1) / (df_est + 1))
+        idf_true = math.log((N_DOCS + 1) / (df_true + 1))
+        print(f"{keyword:<12} {df_est:>9,.0f} {df_true:>9,} "
+              f"{idf_est:>8.2f} {idf_true:>9.2f}")
+    print("\nrarer keywords rank higher — and the whole significance table "
+          "cost one DHS scan.")
+
+    # Bonus: AND-query size estimation from the same reconstructed
+    # sketches (inclusion-exclusion over sketch unions).
+    from repro.sketches.setops import estimate_intersection
+
+    a, b = ("kw", "database"), ("kw", "network")
+    both = estimate_intersection(result.sketches[a], result.sketches[b])
+    print(f"\nestimated documents matching 'database AND network': "
+          f"~{max(0, both):,.0f} (no extra network cost — reused the scan)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Sensor-network scenario: duplicate-insensitive event counting.
+
+The paper's sensor motivation: "multiple sensors may be sensing and
+reporting the same event", so aggregates must be duplicate-insensitive.
+Here overlapping sensors observe regional events and report them into a
+multi-dimensional DHS — one metric per region plus a global one — and a
+sink node reads every regional count in a single multi-metric scan
+(section 4.2: hop cost independent of the number of dimensions).
+
+Run:  python examples/sensor_aggregation.py
+"""
+
+from repro import ChordRing, DHSConfig, DistributedHashSketch
+from repro.sim.seeds import rng_for
+
+N_SENSORS = 128
+N_REGIONS = 8
+EVENTS_PER_REGION = 4_000
+OBSERVERS_PER_EVENT = 3  # overlapping coverage => duplicate reports
+
+
+def main() -> None:
+    ring = ChordRing.build(N_SENSORS, seed=21)
+    dhs = DistributedHashSketch(ring, DHSConfig(num_bitmaps=64), seed=21)
+    sensors = list(ring.node_ids())
+    rng = rng_for(21, "events")
+
+    # Events happen per region; several nearby sensors report each one.
+    truth = {}
+    reports = 0
+    for region in range(N_REGIONS):
+        n_events = EVENTS_PER_REGION + rng.randrange(-1000, 1000)
+        truth[region] = n_events
+        region_sensors = sensors[region::N_REGIONS]
+        for event in range(n_events):
+            event_id = (region, "event", event)
+            for observer in rng.sample(region_sensors, OBSERVERS_PER_EVENT):
+                dhs.insert(("events", region), event_id, origin=observer)
+                dhs.insert(("events", "global"), event_id, origin=observer)
+                reports += 1
+    print(f"{reports:,} sensor reports for {sum(truth.values()):,} distinct events "
+          f"({OBSERVERS_PER_EVENT} observers each)")
+
+    # The sink reads all regional metrics + the global one in ONE scan.
+    metrics = [("events", region) for region in range(N_REGIONS)]
+    metrics.append(("events", "global"))
+    sink = sensors[0]
+    result = dhs.count_many(metrics, origin=sink)
+    print(f"\nsink scan: {result.cost.hops} hops, "
+          f"{result.cost.bytes / 1024:.1f} kB for {len(metrics)} metrics")
+    for region in range(N_REGIONS):
+        estimate = result.estimates[("events", region)]
+        print(f"  region {region}: ~{estimate:,.0f} events "
+              f"(truth {truth[region]:,}, err {abs(estimate / truth[region] - 1):.1%})")
+    global_estimate = result.estimates[("events", "global")]
+    global_truth = sum(truth.values())
+    print(f"  global: ~{global_estimate:,.0f} events "
+          f"(truth {global_truth:,}, err {abs(global_estimate / global_truth - 1):.1%})")
+
+    # Contrast: a single-metric count costs about the same hops.
+    single = dhs.count(("events", 0), origin=sink)
+    print(f"\nsingle-metric scan for comparison: {single.cost.hops} hops "
+          f"(multi-metric paid {result.cost.hops}) — dimensions are ~free in hops")
+
+
+if __name__ == "__main__":
+    main()

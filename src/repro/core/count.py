@@ -1,0 +1,340 @@
+"""DHS counting — the paper's Algorithm 1, for both estimator families.
+
+Counting walks the id-space intervals and, per interval, probes up to
+``lim`` nodes (one DHT lookup, then 1-hop successor/predecessor walks
+confined to the interval) asking "which vectors have bit ``r`` set for
+these metrics?".
+
+* super-LogLog / LogLog / HLL scan **high → low** and record, per
+  bitmap, the *first* set bit seen — its maximum (Alg. 1).
+* PCSA scans **low → high**; a bitmap stays *active* while every probed
+  position was found set, and resolves to its leftmost zero at the first
+  position that ``lim`` probes could not confirm.
+
+Observed bits are fed into an ordinary local sketch from
+:mod:`repro.sketches`, so the distributed estimate uses byte-identical
+math to the centralized estimators.  Probing any node yields the bit's
+status for *all* bitmaps of *all* requested metrics at once, which is why
+hop counts are independent of ``m`` and of the number of metrics
+(sections 4.2/4.3) while byte counts are not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set
+
+from repro.core.config import DHSConfig
+from repro.core.mapping import BitIntervalMap
+from repro.core.retries import lim_with_replication
+from repro.core.tuples import vectors_at
+from repro.hashing.family import HashFamily
+from repro.overlay.dht import DHTProtocol
+from repro.overlay.stats import OpCost
+from repro.sim.seeds import rng_for
+from repro.sketches.base import HashSketch
+
+__all__ = ["Counter", "CountResult"]
+
+#: Estimators that scan from the most significant position downwards.
+_DOWNWARD_ESTIMATORS = {"sll", "loglog", "hll"}
+
+
+@dataclass
+class CountResult:
+    """Outcome of one counting operation (possibly many metrics)."""
+
+    estimates: Dict[Hashable, float]
+    sketches: Dict[Hashable, HashSketch]
+    cost: OpCost
+    #: Total node probes performed (the paper's "nodes visited" is
+    #: ``cost.unique_probed``-style: unique probed nodes).
+    probes: int = 0
+    probed_nodes: List[int] = field(default_factory=list)
+    intervals_scanned: int = 0
+
+    @property
+    def unique_probed(self) -> int:
+        """Distinct nodes probed (the paper's "nodes visited" column)."""
+        return len(set(self.probed_nodes))
+
+    def estimate(self) -> float:
+        """The single estimate (raises unless exactly one metric)."""
+        if len(self.estimates) != 1:
+            raise ValueError("estimate() is only defined for single-metric counts")
+        return next(iter(self.estimates.values()))
+
+
+class Counter:
+    """Counting engine for one DHS deployment."""
+
+    def __init__(
+        self,
+        dht: DHTProtocol,
+        config: DHSConfig,
+        mapping: BitIntervalMap,
+        hash_family: HashFamily,
+        seed: int = 0,
+    ) -> None:
+        self.dht = dht
+        self.config = config
+        self.mapping = mapping
+        self.hash_family = hash_family
+        self._rng = rng_for(seed, "dhs-count")
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        metric_id: Hashable,
+        origin: Optional[int] = None,
+        now: int = 0,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        """Estimate the cardinality of one metric.
+
+        ``expected_items`` is a prior cardinality estimate consumed by
+        the ``eq6`` lim policy; with the policy active and no prior, a
+        bootstrap fixed-``lim`` pass supplies one (its cost is included
+        in the returned result).
+        """
+        return self.count_many(
+            [metric_id], origin=origin, now=now, expected_items=expected_items
+        )
+
+    def count_many(
+        self,
+        metric_ids: Sequence[Hashable],
+        origin: Optional[int] = None,
+        now: int = 0,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        """Estimate several metrics in one interval scan (section 4.2).
+
+        The scan order is shared, so hop cost matches a single-metric
+        count; only the response bytes grow with the metric count.
+        """
+        if not metric_ids:
+            raise ValueError("count_many needs at least one metric id")
+        if len(set(metric_ids)) != len(metric_ids):
+            raise ValueError("metric ids must be unique")
+        if origin is None:
+            origin = self.dht.random_live_node(self._rng)
+        bootstrap_cost: Optional[OpCost] = None
+        if self.config.lim_policy == "eq6" and expected_items is None:
+            bootstrap = self._run_scan(metric_ids, origin, now, expected_items=None,
+                                       force_fixed=True)
+            estimates = [est for est in bootstrap.estimates.values() if est > 0]
+            # The sparsest metric binds the probe budget.
+            expected_items = min(estimates) if estimates else 0.0
+            bootstrap_cost = bootstrap.cost
+        result = self._run_scan(metric_ids, origin, now, expected_items=expected_items)
+        if bootstrap_cost is not None:
+            result.cost.add(bootstrap_cost)
+        return result
+
+    def _run_scan(
+        self,
+        metric_ids: Sequence[Hashable],
+        origin: int,
+        now: int,
+        expected_items: Optional[float],
+        force_fixed: bool = False,
+    ) -> CountResult:
+        sketches = {
+            metric: self.config.make_sketch(self.hash_family) for metric in metric_ids
+        }
+        adaptive = self.config.lim_policy == "eq6" and not force_fixed
+        prior = expected_items if adaptive else None
+        if self.config.estimator in _DOWNWARD_ESTIMATORS:
+            result = self._scan_downward(sketches, origin, now, prior)
+        else:
+            result = self._scan_upward(sketches, origin, now, prior)
+        result.estimates = {
+            metric: sketch.estimate() for metric, sketch in sketches.items()
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # Per-interval probe budget (fixed lim, or eq. 6 from a prior).
+    # ------------------------------------------------------------------
+    def _interval_budget(self, index: int, expected_items: Optional[float]) -> int:
+        """Probe budget for one interval under the active lim policy."""
+        config = self.config
+        if expected_items is None:
+            return config.lim
+        position = self.mapping.position_for_index(index)
+        items_here = expected_items * 2.0 ** -(position + 1)
+        nodes_here = max(1.0, self.mapping.expected_nodes(index, self.dht.size))
+        budget = lim_with_replication(
+            config.lim_target_p,
+            items_here,
+            nodes_here,
+            m=config.num_bitmaps,
+            replication=config.replication + 1,
+        )
+        # Bound the adaptive budget: never below 1, never runaway.
+        return max(1, min(budget, 8 * config.lim))
+
+    # ------------------------------------------------------------------
+    # Downward scan (LogLog family): first set bit seen is the maximum.
+    # ------------------------------------------------------------------
+    def _scan_downward(
+        self,
+        sketches: Dict[Hashable, HashSketch],
+        origin: int,
+        now: int,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        config = self.config
+        all_vectors = range(config.num_bitmaps)
+        pending: Dict[Hashable, Set[int]] = {
+            metric: set(all_vectors) for metric in sketches
+        }
+        result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
+        for index in reversed(range(self.mapping.num_intervals)):
+            if not any(pending.values()):
+                break
+            position = self.mapping.position_for_index(index)
+            found = self._probe_interval(
+                index, position, pending, origin, now, result, expected_items
+            )
+            for metric, vectors in found.items():
+                for vector in vectors:
+                    if vector in pending[metric]:
+                        pending[metric].discard(vector)
+                        sketches[metric].record(vector, position)
+        if config.bit_shift > 0:
+            # Unresolved bitmaps are assumed set below the shift.
+            for metric, vectors in pending.items():
+                for vector in vectors:
+                    sketches[metric].record(vector, config.bit_shift - 1)
+        return result
+
+    # ------------------------------------------------------------------
+    # Upward scan (PCSA): advance while every probed bit is confirmed.
+    # ------------------------------------------------------------------
+    def _scan_upward(
+        self,
+        sketches: Dict[Hashable, HashSketch],
+        origin: int,
+        now: int,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        config = self.config
+        all_vectors = range(config.num_bitmaps)
+        active: Dict[Hashable, Set[int]] = {
+            metric: set(all_vectors) for metric in sketches
+        }
+        if config.bit_shift > 0:
+            # Positions below the shift are assumed set (section 3.5).
+            for sketch in sketches.values():
+                for vector in all_vectors:
+                    for position in range(config.bit_shift):
+                        sketch.record(vector, position)
+        result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
+        for index in range(self.mapping.num_intervals):
+            if not any(active.values()):
+                break
+            position = self.mapping.position_for_index(index)
+            found = self._probe_interval(
+                index, position, active, origin, now, result, expected_items
+            )
+            for metric, vectors in active.items():
+                confirmed = vectors & found.get(metric, set())
+                for vector in confirmed:
+                    sketches[metric].record(vector, position)
+                # Bitmaps whose bit could not be confirmed resolve here:
+                # their leftmost zero is this position (already implicit
+                # in the sketch state — bits above stay unset).
+                active[metric] = confirmed
+        return result
+
+    # ------------------------------------------------------------------
+    # Interval probe: one lookup plus <= lim-1 neighbour walks (Alg. 1).
+    # ------------------------------------------------------------------
+    def _probe_interval(
+        self,
+        index: int,
+        position: int,
+        needed: Dict[Hashable, Set[int]],
+        origin: int,
+        now: int,
+        result: CountResult,
+        expected_items: Optional[float] = None,
+    ) -> Dict[Hashable, Set[int]]:
+        config = self.config
+        budget = self._interval_budget(index, expected_items)
+        metrics = [metric for metric, vectors in needed.items() if vectors]
+        found: Dict[Hashable, Set[int]] = {metric: set() for metric in metrics}
+        if not metrics:
+            return found
+        result.intervals_scanned += 1
+        key = self.mapping.random_key_in_interval(index, self._rng)
+        lookup = self.dht.lookup(key, origin=origin)
+        cost = result.cost
+        cost.add(lookup.cost)
+        cost.bytes += config.size_model.probe_bytes(
+            request_hops=lookup.cost.hops, tuples_returned=0, metrics=len(metrics)
+        )
+
+        visited: Set[int] = set()
+        target = lookup.node_id
+        succ_cursor = pred_cursor = target
+        go_to_succ = True
+        for attempt in range(budget):
+            if attempt > 0:
+                cost.bytes += config.size_model.probe_bytes(
+                    request_hops=1, tuples_returned=0, metrics=len(metrics)
+                )
+            visited.add(target)
+            result.probes += 1
+            result.probed_nodes.append(target)
+            if self.dht.is_alive(target):
+                returned = 0
+                node = self.dht.node(target)
+                self.dht.load.record(target)
+                for metric in metrics:
+                    vectors = vectors_at(node, metric, position, now)
+                    returned += len(vectors)
+                    found[metric].update(vectors)
+                cost.bytes += returned * config.size_model.tuple_bytes
+            else:
+                # Timed-out probe of a crashed node (Alg. 1's failure
+                # case): nothing read; evict it and walk on.
+                self.dht.repair(target)
+            if all(needed[metric] <= found[metric] for metric in metrics):
+                break
+            # Pick the next probe target: successors first, then switch
+            # to predecessors once the interval's upper end is reached.
+            # The successor walk is allowed one node beyond the interval:
+            # keys above the last in-interval node are owned by the next
+            # node on the ring, so that "overflow" node can hold tuples
+            # of this interval too.
+            next_target = None
+            if go_to_succ and not self.mapping.contains(index, succ_cursor):
+                # The walk already sits on the overflow owner (or the
+                # lookup landed there directly): nothing further up.
+                go_to_succ = False
+            if go_to_succ:
+                candidate = self.dht.successor_id(succ_cursor)
+                if candidate in visited:
+                    go_to_succ = False
+                elif self.mapping.contains(index, candidate):
+                    succ_cursor = next_target = candidate
+                else:
+                    next_target = candidate  # the one overflow owner
+                    succ_cursor = candidate
+                    go_to_succ = False
+            if next_target is None:
+                candidate = self.dht.predecessor_id(pred_cursor)
+                if self.mapping.contains(index, candidate) and candidate not in visited:
+                    pred_cursor = next_target = candidate
+                else:
+                    break  # interval exhausted in both directions
+            target = next_target
+            cost.hops += 1
+            cost.messages += 1
+            cost.nodes_visited.append(target)
+        return found

@@ -1,0 +1,237 @@
+"""The Distributed Hash Sketch facade — the library's main entry point.
+
+Composes an overlay, a :class:`~repro.core.config.DHSConfig`, the
+bit↦interval mapping, and the insertion/counting engines into the
+public API a downstream user works with::
+
+    from repro import ChordRing, DHSConfig, DistributedHashSketch
+
+    ring = ChordRing.build(1024, seed=7)
+    dhs = DistributedHashSketch(ring, DHSConfig(num_bitmaps=512))
+    dhs.insert_bulk("documents", doc_ids)
+    result = dhs.count("documents")
+    print(result.estimate(), result.cost.hops)
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
+
+from repro.core.config import DHSConfig
+from repro.core.count import Counter, CountResult
+from repro.core.insert import Inserter
+from repro.core.mapping import BitIntervalMap
+from repro.core.maintenance import refresh, sweep_expired
+from repro.core.tuples import merge_store_values, storage_entries
+from repro.overlay.dht import DHTProtocol
+from repro.overlay.stats import OpCost
+from repro.sketches.merge import union_all
+from repro.sketches.setops import estimate_intersection
+
+__all__ = ["DistributedHashSketch"]
+
+
+class DistributedHashSketch:
+    """A DHS deployment over an arbitrary DHT overlay.
+
+    Parameters
+    ----------
+    dht:
+        Any :class:`~repro.overlay.dht.DHTProtocol` (Chord, Kademlia...).
+        The overlay's graceful-leave merge hook is installed so DHS
+        entries survive node departures correctly.
+    config:
+        The deployment parameters; defaults reproduce the paper's setup.
+    seed:
+        Master seed for the random target-key choices of insertion and
+        counting.
+    """
+
+    def __init__(
+        self,
+        dht: DHTProtocol,
+        config: Optional[DHSConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        self.dht = dht
+        self.config = config or DHSConfig()
+        self.mapping = BitIntervalMap(dht.space, self.config)
+        self.hash_family = self.config.hash_family(dht.space.bits)
+        self._inserter = Inserter(dht, self.config, self.mapping, self.hash_family, seed)
+        self._counter = Counter(dht, self.config, self.mapping, self.hash_family, seed)
+        dht.store_merge = merge_store_values
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        metric_id: Hashable,
+        item: Any,
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Record one item under a metric; returns the op cost."""
+        return self._inserter.insert(metric_id, item, origin=origin, now=now)
+
+    def insert_many(
+        self,
+        metric_id: Hashable,
+        items: Iterable[Any],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Record items one DHT store at a time (cost-faithful path)."""
+        return self._inserter.insert_many(metric_id, items, origin=origin, now=now)
+
+    def insert_bulk(
+        self,
+        metric_id: Hashable,
+        items: Iterable[Any],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Record items grouped by interval (<= k stores total)."""
+        return self._inserter.insert_bulk(metric_id, items, origin=origin, now=now)
+
+    def refresh(
+        self,
+        metric_id: Hashable,
+        items: Iterable[Any],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Refresh the soft state of live items (section 3.3)."""
+        return refresh(self._inserter, metric_id, items, origin=origin, now=now)
+
+    # ------------------------------------------------------------------
+    # Counting.
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        metric_id: Hashable,
+        origin: Optional[int] = None,
+        now: int = 0,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        """Estimate the distinct-item count of one metric.
+
+        ``expected_items`` feeds the ``eq6`` adaptive probe-budget policy
+        (ignored under the default fixed policy).
+        """
+        return self._counter.count(
+            metric_id, origin=origin, now=now, expected_items=expected_items
+        )
+
+    def count_many(
+        self,
+        metric_ids: Sequence[Hashable],
+        origin: Optional[int] = None,
+        now: int = 0,
+        expected_items: Optional[float] = None,
+    ) -> CountResult:
+        """Estimate several metrics in one scan (multi-dimension count)."""
+        return self._counter.count_many(
+            metric_ids, origin=origin, now=now, expected_items=expected_items
+        )
+
+    # ------------------------------------------------------------------
+    # Set expressions over metrics (union is exact sketch merge;
+    # intersection via inclusion-exclusion — see repro.sketches.setops).
+    # ------------------------------------------------------------------
+    def count_union(
+        self,
+        metric_ids: Sequence[Hashable],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> float:
+        """Estimate ``|M1 ∪ M2 ∪ ...|`` with a single scan.
+
+        The per-metric sketches are reconstructed once and merged
+        locally — union costs nothing extra on the network.
+        """
+        result = self.count_many(metric_ids, origin=origin, now=now)
+        return union_all(list(result.sketches.values())).estimate()
+
+    def count_intersection(
+        self,
+        metric_a: Hashable,
+        metric_b: Hashable,
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> float:
+        """Estimate ``|A ∩ B|`` via inclusion-exclusion (one scan).
+
+        Subject to the usual sketch caveat: absolute error scales with
+        the sizes of the operands, not of the intersection.
+        """
+        result = self.count_many([metric_a, metric_b], origin=origin, now=now)
+        return estimate_intersection(
+            result.sketches[metric_a], result.sketches[metric_b]
+        )
+
+    # ------------------------------------------------------------------
+    # Network-property metrics (section 3.2: "basic network parameters
+    # such as the cardinality of the node population").
+    # ------------------------------------------------------------------
+    #: Reserved metric id under which nodes register themselves.
+    NODE_POPULATION_METRIC = ("__dhs__", "nodes")
+
+    def register_nodes(self, now: int = 0) -> OpCost:
+        """Have every live node record itself (for population counting).
+
+        In a real deployment each node does this on join and on every
+        refresh round; the simulation performs one sweep.
+        """
+        total = OpCost()
+        for node_id in list(self.dht.node_ids()):
+            total.add(
+                self.insert(self.NODE_POPULATION_METRIC, node_id, origin=node_id, now=now)
+            )
+        return total
+
+    def count_nodes(self, origin: Optional[int] = None, now: int = 0) -> CountResult:
+        """Estimate the live-node population (after :meth:`register_nodes`)."""
+        return self.count(self.NODE_POPULATION_METRIC, origin=origin, now=now)
+
+    # ------------------------------------------------------------------
+    # Maintenance and introspection.
+    # ------------------------------------------------------------------
+    def sweep_expired(self, now: int) -> int:
+        """Purge aged-out entries network-wide; returns entries freed."""
+        return sweep_expired(self.dht, now)
+
+    def storage_per_node(self) -> Dict[int, int]:
+        """DHS entries stored at each live node."""
+        return {
+            node_id: storage_entries(self.dht.node(node_id))
+            for node_id in self.dht.node_ids()
+        }
+
+    def storage_bytes_per_node(self) -> Dict[int, float]:
+        """Approximate stored bytes per node (entries × tuple size)."""
+        tuple_bytes = self.config.size_model.tuple_bytes
+        return {
+            node_id: entries * tuple_bytes
+            for node_id, entries in self.storage_per_node().items()
+        }
+
+    def local_sketch(self, items: Iterable[Any]):
+        """A centralized reference sketch over ``items`` (ground truth).
+
+        Uses the same hash family and parameters, so a lossless
+        distributed count reconstructs exactly this sketch's state.
+        """
+        sketch = self.config.make_sketch(self.hash_family)
+        sketch.add_all(items)
+        return sketch
+
+    def interval_node_counts(self) -> List[int]:
+        """Live nodes per id-space interval (for load diagnostics)."""
+        counts = []
+        for index in range(self.mapping.num_intervals):
+            lo, hi = self.mapping.interval_for_index(index)
+            ids = self.dht.node_ids()
+            counts.append(bisect.bisect_left(ids, hi) - bisect.bisect_left(ids, lo))
+        return counts

@@ -1,0 +1,183 @@
+"""DHS insertion (paper sections 3.2 and 3.4).
+
+To record an item, compute its ``(vector, position)`` observation from
+the k low-order bits of its hashed key, pick a *uniformly random* key
+inside the id-space interval of that position, and store the DHS tuple
+at the DHT node owning that key.  Choosing a fresh random key per write
+is what spreads copies of the same logical bit over all the interval's
+nodes — the redundancy the counting algorithm's probe phase relies on.
+
+``insert_bulk`` implements the paper's batching observation: a node with
+many items groups them by interval and contacts at most ``k`` nodes per
+round, one per interval, instead of one per item.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.config import DHSConfig
+from repro.core.mapping import BitIntervalMap
+from repro.core.tuples import write_entry
+from repro.hashing.family import HashFamily
+from repro.overlay.dht import DHTProtocol
+from repro.overlay.replication import replicate_to_successors
+from repro.overlay.stats import OpCost
+from repro.sim.seeds import rng_for
+from repro.sketches.base import split_key
+
+__all__ = ["Inserter"]
+
+
+class Inserter:
+    """Stateless-per-call insertion engine for one DHS deployment."""
+
+    def __init__(
+        self,
+        dht: DHTProtocol,
+        config: DHSConfig,
+        mapping: BitIntervalMap,
+        hash_family: HashFamily,
+        seed: int = 0,
+    ) -> None:
+        self.dht = dht
+        self.config = config
+        self.mapping = mapping
+        self.hash_family = hash_family
+        self._rng = rng_for(seed, "dhs-insert")
+
+    # ------------------------------------------------------------------
+    # Observations.
+    # ------------------------------------------------------------------
+    def observation(self, item: Any) -> Tuple[int, int]:
+        """``(vector, position)`` of ``item``, clamped like the sketches."""
+        vector, position = split_key(
+            self.hash_family(item), self.config.num_bitmaps, self.config.key_bits
+        )
+        return vector, min(position, self.config.position_bits - 1)
+
+    # ------------------------------------------------------------------
+    # Single-item insertion.
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        metric_id: Hashable,
+        item: Any,
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Record one item under ``metric_id``; returns the cost.
+
+        Items whose position falls below the configured ``bit_shift``
+        are assumed set and cost nothing (section 3.5).
+        """
+        vector, position = self.observation(item)
+        if not self.mapping.is_stored(position):
+            return OpCost()
+        return self._write_tuples(
+            self.mapping.interval_index(position),
+            [(metric_id, vector, position)],
+            origin=origin,
+            now=now,
+        )
+
+    def insert_many(
+        self,
+        metric_id: Hashable,
+        items: Iterable[Any],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Insert items one at a time (one DHT store each)."""
+        total = OpCost()
+        for item in items:
+            total.add(self.insert(metric_id, item, origin=origin, now=now))
+        return total
+
+    # ------------------------------------------------------------------
+    # Bulk insertion: group by interval, one store per interval.
+    # ------------------------------------------------------------------
+    def insert_bulk(
+        self,
+        metric_id: Hashable,
+        items: Iterable[Any],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Record many items with at most one DHT store per interval.
+
+        All of an interval's tuples ride a single routed message, so the
+        hop cost is ``O(k log N)`` per caller regardless of item count
+        (the byte cost still scales with the distinct tuples sent).
+        """
+        by_interval: Dict[int, Dict[Tuple[Hashable, int, int], None]] = {}
+        for item in items:
+            vector, position = self.observation(item)
+            if not self.mapping.is_stored(position):
+                continue
+            index = self.mapping.interval_index(position)
+            # dict-as-ordered-set: one tuple per distinct (vector, bit).
+            by_interval.setdefault(index, {})[(metric_id, vector, position)] = None
+        total = OpCost()
+        for index, tuple_set in sorted(by_interval.items()):
+            total.add(
+                self._write_tuples(index, list(tuple_set), origin=origin, now=now)
+            )
+        return total
+
+    def insert_observations(
+        self,
+        metric_id: Hashable,
+        observations: Iterable[Tuple[int, int]],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Bulk-insert pre-computed ``(vector, position)`` observations."""
+        by_interval: Dict[int, Dict[Tuple[Hashable, int, int], None]] = {}
+        for vector, position in observations:
+            position = min(position, self.config.position_bits - 1)
+            if not self.mapping.is_stored(position):
+                continue
+            index = self.mapping.interval_index(position)
+            by_interval.setdefault(index, {})[(metric_id, vector, position)] = None
+        total = OpCost()
+        for index, tuple_set in sorted(by_interval.items()):
+            total.add(
+                self._write_tuples(index, list(tuple_set), origin=origin, now=now)
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Shared write path.
+    # ------------------------------------------------------------------
+    def _write_tuples(
+        self,
+        index: int,
+        tuples: List[Tuple[Hashable, int, int]],
+        origin: Optional[int],
+        now: int,
+    ) -> OpCost:
+        key = self.mapping.random_key_in_interval(index, self._rng)
+        expiry = self.config.expiry(now)
+
+        def write(node) -> None:
+            for metric_id, vector, position in tuples:
+                write_entry(node, metric_id, vector, position, expiry)
+
+        storing_node, cost = self.dht.store(
+            key,
+            write,
+            origin=origin,
+            payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
+        )
+        if self.config.replication > 0:
+            extra = replicate_to_successors(
+                self.dht,
+                storing_node,
+                write,
+                degree=self.config.replication,
+                payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
+            )
+            if extra is not None:
+                cost.add(extra)
+        return cost

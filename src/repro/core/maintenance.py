@@ -1,0 +1,50 @@
+"""Soft-state maintenance (paper section 3.3).
+
+DHS deletion is implicit: every stored bit carries a time-out, and a bit
+that is not refreshed within its TTL ages out — so deleting items costs
+nothing.  Data owners periodically re-insert (refresh) their live items;
+the TTL choice trades maintenance bandwidth against adaptation speed to
+fluctuations, exactly the trade-off the paper discusses.
+
+Time is a logical integer clock owned by the caller (the simulation
+kit); nothing here reads wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Optional
+
+from repro.core.insert import Inserter
+from repro.core.tuples import purge_expired
+from repro.overlay.dht import DHTProtocol
+from repro.overlay.stats import OpCost
+
+__all__ = ["refresh", "sweep_expired"]
+
+
+def refresh(
+    inserter: Inserter,
+    metric_id: Hashable,
+    items: Iterable[Any],
+    origin: Optional[int] = None,
+    now: int = 0,
+) -> OpCost:
+    """Re-insert (refresh) live items, resetting their time-outs.
+
+    Refreshing is literally re-insertion: matching entries get their
+    expiry bumped, missing ones are re-created (e.g. after a crash).
+    """
+    return inserter.insert_bulk(metric_id, items, origin=origin, now=now)
+
+
+def sweep_expired(dht: DHTProtocol, now: int) -> int:
+    """Purge expired entries from every live node; returns entries freed.
+
+    In a real deployment each node sweeps its own store locally; the
+    simulation does it in one pass.  Counting already ignores expired
+    entries, so sweeping only reclaims storage.
+    """
+    removed = 0
+    for node_id in list(dht.node_ids()):
+        removed += purge_expired(dht.node(node_id), now)
+    return removed

@@ -1,0 +1,96 @@
+"""DHS wire tuples and node-store layout.
+
+A DHS entry is the paper's ``<metric_id, vector_id, bit, time_out>``
+tuple (section 3.2/3.4).  On a node we index entries by ``(metric, bit)``
+and keep a ``{vector_id: expiry}`` sub-map so a counting probe — "which
+vectors have bit ``r`` set for these metrics?" — is answered without
+scanning the node's whole store.  A node stores at most one entry per
+(metric, vector, bit): re-insertions only refresh the expiry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, NamedTuple, Optional
+
+from repro.overlay.node import Node
+
+__all__ = [
+    "DHSTuple",
+    "write_entry",
+    "vectors_at",
+    "merge_store_values",
+    "purge_expired",
+    "storage_entries",
+]
+
+#: Expiry sentinel for entries that never age out.
+_NEVER = float("inf")
+
+
+class DHSTuple(NamedTuple):
+    """One DHS record as it travels on the wire."""
+
+    metric_id: Hashable
+    vector_id: int
+    bit: int
+    time_out: Optional[int] = None
+
+
+def _live(expiry: float, now: int) -> bool:
+    return expiry >= now
+
+
+def write_entry(
+    node: Node,
+    metric_id: Hashable,
+    vector_id: int,
+    bit: int,
+    expiry: Optional[int],
+) -> None:
+    """Record (or refresh) one DHS entry at ``node``."""
+    slot: Dict[int, float] = node.store.setdefault((metric_id, bit), {})
+    new_expiry = _NEVER if expiry is None else float(expiry)
+    current = slot.get(vector_id)
+    if current is None or new_expiry > current:
+        slot[vector_id] = new_expiry
+
+
+def vectors_at(node: Node, metric_id: Hashable, bit: int, now: int = 0) -> list[int]:
+    """Vector ids with a live bit ``bit`` for ``metric_id`` at ``node``."""
+    slot = node.store.get((metric_id, bit))
+    if not slot:
+        return []
+    return [vector for vector, expiry in slot.items() if _live(expiry, now)]
+
+
+def merge_store_values(existing: Optional[dict], incoming: dict) -> dict:
+    """Merge two ``{vector: expiry}`` slots (used on graceful leave)."""
+    if existing is None:
+        return dict(incoming)
+    merged = dict(existing)
+    for vector, expiry in incoming.items():
+        current = merged.get(vector)
+        if current is None or expiry > current:
+            merged[vector] = expiry
+    return merged
+
+
+def purge_expired(node: Node, now: int) -> int:
+    """Drop expired entries from ``node``; returns how many were removed."""
+    removed = 0
+    dead_slots = []
+    for slot_key, slot in node.store.items():
+        stale = [vector for vector, expiry in slot.items() if not _live(expiry, now)]
+        for vector in stale:
+            del slot[vector]
+        removed += len(stale)
+        if not slot:
+            dead_slots.append(slot_key)
+    for slot_key in dead_slots:
+        del node.store[slot_key]
+    return removed
+
+
+def storage_entries(node: Node) -> int:
+    """Number of live-or-stale DHS entries stored at ``node``."""
+    return sum(len(slot) for slot in node.store.values())

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the DHS reproduction.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to discriminate between configuration mistakes, overlay-level failures,
+and estimation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter combination is invalid (e.g. ``m`` not a power of two)."""
+
+
+class OverlayError(ReproError):
+    """Base class for DHT/overlay-level failures."""
+
+
+class EmptyOverlayError(OverlayError):
+    """An operation requires at least one live node, but none exists."""
+
+
+class NodeNotFoundError(OverlayError, KeyError):
+    """A node id was addressed that is not part of the overlay."""
+
+
+class LookupFailedError(OverlayError):
+    """A DHT lookup could not be routed (e.g. all replicas failed)."""
+
+
+class SketchError(ReproError):
+    """Base class for sketch-level failures."""
+
+
+class IncompatibleSketchError(SketchError, ValueError):
+    """Two sketches cannot be merged (different m, k, or hash family)."""
+
+
+class EstimationError(SketchError):
+    """An estimate could not be produced (e.g. empty sketch w/o fallback)."""
+
+
+class HistogramError(ReproError, ValueError):
+    """Invalid histogram specification (empty domain, zero buckets...)."""
+
+
+class QueryError(ReproError):
+    """Base class for query-processing failures (unknown relation etc.)."""

@@ -1,0 +1,244 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* ``run_lim_ablation`` — the retry budget ``lim`` (section 4.1): more
+  probes per interval buy accuracy with a linear hop surcharge.
+* ``run_replication_ablation`` — replication degree ``R`` under node
+  failures (section 3.5): replicas restore accuracy lost to crashes.
+* ``run_bitshift_ablation`` — the bit-shift mapping ``b`` (section 3.5):
+  skipping the first ``b`` positions cuts write traffic while keeping
+  estimates usable for cardinalities above ``2^b``.
+* ``run_overlay_comparison`` — DHS over Chord versus Kademlia: the
+  DHT-agnosticism claim, measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.experiments.common import populate_metric, sample_counts
+from repro.experiments.report import format_table
+from repro.overlay.chord import ChordRing
+from repro.overlay.failures import fail_fraction
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.sim.seeds import derive_seed
+
+__all__ = [
+    "AblationRow",
+    "run_lim_ablation",
+    "run_replication_ablation",
+    "run_bitshift_ablation",
+    "run_overlay_comparison",
+    "format_ablation",
+]
+
+
+@dataclass
+class AblationRow:
+    """One configuration's measured error and cost."""
+
+    label: str
+    error_pct: float
+    hops: float
+    bytes_kb: float
+    extra: float = 0.0  # experiment-specific column
+
+
+def format_ablation(title: str, extra_header: str, rows: List[AblationRow]) -> str:
+    """Render an ablation sweep."""
+    return format_table(
+        title,
+        ["config", "error %", "hops", "BW (kB)", extra_header],
+        [
+            [row.label, f"{row.error_pct:.1f}", f"{row.hops:.0f}", f"{row.bytes_kb:.1f}", f"{row.extra:.1f}"]
+            for row in rows
+        ],
+    )
+
+
+def run_lim_ablation(
+    lims: Sequence[int] = (1, 2, 5, 10),
+    n_nodes: int = 256,
+    n_items: int = 200_000,
+    num_bitmaps: int = 512,
+    estimator: str = "pcsa",
+    trials: int = 3,
+    seed: int = 0,
+) -> List[AblationRow]:
+    """Accuracy/cost versus the per-interval probe budget.
+
+    The overlay is populated once; only the counting configuration
+    varies, isolating the retry budget's effect.  Defaults put the
+    deployment in the sensitive regime (``alpha = n/(2mN) < 1``) with
+    the PCSA scan order, where the budget visibly buys accuracy —
+    exactly the trade-off eq. 6 models.
+    """
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring"))
+    writer = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed), seed=seed
+    )
+    items = np.arange(n_items, dtype=np.int64)
+    populate_metric(writer, "docs", items, seed=derive_seed(seed, "load"))
+    rows: List[AblationRow] = []
+    for lim in lims:
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(
+                num_bitmaps=num_bitmaps, lim=lim, hash_seed=seed, estimator=estimator
+            ),
+            seed=derive_seed(seed, "counter", lim),
+        )
+        sample = sample_counts(
+            counter,
+            {"docs": float(n_items)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", lim),
+        )
+        rows.append(
+            AblationRow(
+                label=f"lim={lim}",
+                error_pct=100 * sample.mean_abs_rel_error(),
+                hops=sample.mean_hops(),
+                bytes_kb=sample.mean_bytes() / 1024,
+                extra=sample.mean_nodes(),
+            )
+        )
+    return rows
+
+
+def run_replication_ablation(
+    degrees: Sequence[int] = (0, 2, 4),
+    failure_fraction: float = 0.25,
+    n_nodes: int = 256,
+    n_items: int = 50_000,
+    num_bitmaps: int = 512,
+    estimator: str = "pcsa",
+    trials: int = 3,
+    seed: int = 0,
+) -> List[AblationRow]:
+    """Accuracy under crashes versus the replication degree ``R``.
+
+    Defaults use the PCSA scan in a sparse-copy regime, where each
+    logical bit has few copies and crashes genuinely erase information —
+    the scenario eq. 6's ``R * alpha`` term is about.  (super-LogLog's
+    truncation rule discards the largest registers, which makes it
+    naturally insensitive to losing rare high-bit copies.)
+    """
+    rows: List[AblationRow] = []
+    items = np.arange(n_items, dtype=np.int64)
+    for degree in degrees:
+        ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", degree))
+        dhs = DistributedHashSketch(
+            ring,
+            DHSConfig(
+                num_bitmaps=num_bitmaps,
+                replication=degree,
+                hash_seed=seed,
+                estimator=estimator,
+            ),
+            seed=derive_seed(seed, "dhs", degree),
+        )
+        insert_cost = populate_metric(
+            dhs, "docs", items, seed=derive_seed(seed, "load", degree)
+        )
+        fail_fraction(ring, failure_fraction, seed=derive_seed(seed, "fail", degree))
+        sample = sample_counts(
+            dhs,
+            {"docs": float(n_items)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", degree),
+        )
+        rows.append(
+            AblationRow(
+                label=f"R={degree}",
+                error_pct=100 * sample.mean_abs_rel_error(),
+                hops=sample.mean_hops(),
+                bytes_kb=sample.mean_bytes() / 1024,
+                extra=insert_cost.hops / max(1, insert_cost.lookups),
+            )
+        )
+    return rows
+
+
+def run_bitshift_ablation(
+    shifts: Sequence[int] = (0, 2, 4),
+    n_nodes: int = 128,
+    n_items: int = 200_000,
+    num_bitmaps: int = 64,
+    trials: int = 3,
+    seed: int = 0,
+) -> List[AblationRow]:
+    """Accuracy/write-cost versus the bit-shift mapping ``b``."""
+    rows: List[AblationRow] = []
+    items = np.arange(n_items, dtype=np.int64)
+    for shift in shifts:
+        ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", shift))
+        dhs = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=num_bitmaps, bit_shift=shift, hash_seed=seed),
+            seed=derive_seed(seed, "dhs", shift),
+        )
+        insert_cost = populate_metric(
+            dhs, "docs", items, seed=derive_seed(seed, "load", shift)
+        )
+        sample = sample_counts(
+            dhs,
+            {"docs": float(n_items)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", shift),
+        )
+        rows.append(
+            AblationRow(
+                label=f"b={shift}",
+                error_pct=100 * sample.mean_abs_rel_error(),
+                hops=sample.mean_hops(),
+                bytes_kb=sample.mean_bytes() / 1024,
+                extra=insert_cost.bytes / 1024,
+            )
+        )
+    return rows
+
+
+def run_overlay_comparison(
+    n_nodes: int = 128,
+    n_items: int = 200_000,
+    num_bitmaps: int = 256,
+    trials: int = 3,
+    seed: int = 0,
+) -> List[AblationRow]:
+    """The same DHS deployment over Chord, Kademlia and Pastry."""
+    rows: List[AblationRow] = []
+    items = np.arange(n_items, dtype=np.int64)
+    overlays = [
+        ("chord", ChordRing.build(n_nodes, seed=derive_seed(seed, "chord"))),
+        ("kademlia", KademliaOverlay.build(n_nodes, seed=derive_seed(seed, "kad"))),
+        ("pastry", PastryOverlay.build(n_nodes, seed=derive_seed(seed, "pastry"))),
+    ]
+    for label, overlay in overlays:
+        dhs = DistributedHashSketch(
+            overlay,
+            DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed),
+            seed=derive_seed(seed, "dhs", label),
+        )
+        populate_metric(dhs, "docs", items, seed=derive_seed(seed, "load", label))
+        sample = sample_counts(
+            dhs,
+            {"docs": float(n_items)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", label),
+        )
+        rows.append(
+            AblationRow(
+                label=label,
+                error_pct=100 * sample.mean_abs_rel_error(),
+                hops=sample.mean_hops(),
+                bytes_kb=sample.mean_bytes() / 1024,
+                extra=sample.mean_nodes(),
+            )
+        )
+    return rows

@@ -1,0 +1,254 @@
+"""Shared experiment machinery.
+
+Every experiment driver in this package follows the same recipe as the
+paper's evaluation (section 5.1): build a Chord-like overlay, scatter
+the workload's tuples uniformly over the nodes, let every node
+bulk-insert its own items into the DHS, then measure insertion /
+counting / histogram costs and accuracy from randomly chosen querying
+nodes.
+
+``populate_metric`` is the fast path: observations are computed with the
+vectorized hasher and inserted per owning node, so multi-million-tuple
+runs stay tractable in pure Python.
+
+Scaling: ``env_scale()`` reads ``DHS_SCALE`` (default 1e-3) so the whole
+benchmark suite can be re-run closer to paper scale with one knob.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dhs import DistributedHashSketch
+from repro.hashing.vectorized import observations_np
+from repro.overlay.chord import ChordRing
+from repro.overlay.stats import OpCost
+from repro.sim.seeds import derive_seed, rng_for
+from repro.workloads.assignment import assign_uniform
+from repro.workloads.relations import Relation
+
+__all__ = [
+    "env_scale",
+    "env_int",
+    "build_ring",
+    "populate_metric",
+    "populate_relation",
+    "populate_histogram_metrics",
+    "bucket_metric",
+    "CountSample",
+    "sample_counts",
+]
+
+#: Default workload scale relative to the paper (10/20/40/80 M tuples).
+DEFAULT_SCALE = 1e-3
+
+
+def env_scale(default: float = DEFAULT_SCALE) -> float:
+    """Workload scale factor from ``DHS_SCALE`` (1.0 = paper size)."""
+    return float(os.environ.get("DHS_SCALE", default))
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer experiment knob from the environment."""
+    return int(os.environ.get(name, default))
+
+
+def build_ring(n_nodes: int = 1024, bits: int = 64, seed: int = 0) -> ChordRing:
+    """The paper's overlay: a Chord-like ring (1024 nodes by default)."""
+    return ChordRing.build(n_nodes, bits=bits, seed=derive_seed(seed, "ring"))
+
+
+def populate_metric(
+    dhs: DistributedHashSketch,
+    metric_id: Hashable,
+    item_ids: np.ndarray,
+    seed: int = 0,
+    now: int = 0,
+) -> OpCost:
+    """Insert items into a DHS metric, each from its owning node.
+
+    Items are spread uniformly over the live nodes and every node
+    bulk-inserts its share — the deployment the paper evaluates, and the
+    reason each logical bit ends up replicated across its interval.
+    """
+    config = dhs.config
+    if config.hash_family_name == "mixer":
+        vectors, positions = observations_np(
+            item_ids, config.num_bitmaps, config.key_bits, seed=config.hash_seed
+        )
+    else:
+        # Non-mixer families (MD4) have no vectorized twin: scalar path.
+        pairs = [dhs._inserter.observation(int(item)) for item in item_ids]
+        vectors = np.array([v for v, _ in pairs], dtype=np.int64)
+        positions = np.array([p for _, p in pairs], dtype=np.int64)
+    node_ids = list(dhs.dht.node_ids())
+    assignment = assign_uniform(len(item_ids), node_ids, seed=derive_seed(seed, "owners"))
+    total = OpCost()
+    for node_id, indices in assignment.items():
+        observations = zip(vectors[indices].tolist(), positions[indices].tolist())
+        total.add(
+            dhs._inserter.insert_observations(
+                metric_id, observations, origin=node_id, now=now
+            )
+        )
+    return total
+
+
+def populate_relation(
+    dhs: DistributedHashSketch,
+    relation: Relation,
+    seed: int = 0,
+    now: int = 0,
+) -> OpCost:
+    """Insert every tuple of a relation under the metric ``relation.name``."""
+    return populate_metric(dhs, relation.name, relation.item_ids(), seed=seed, now=now)
+
+
+def bucket_metric(relation_name: str, bucket: int) -> Hashable:
+    """The DHS metric id of one histogram bucket."""
+    return (relation_name, "hist", bucket)
+
+
+def populate_histogram_metrics(
+    dhs: DistributedHashSketch,
+    relation: Relation,
+    n_buckets: int,
+    seed: int = 0,
+    now: int = 0,
+) -> OpCost:
+    """Insert a relation's tuples under per-bucket metrics (section 4.3)."""
+    from repro.histograms.buckets import BucketSpec
+
+    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
+    bucket_of = spec.bucket_indices(relation.values)
+    item_ids = relation.item_ids()
+    total = OpCost()
+    for bucket in range(n_buckets):
+        mask = bucket_of == bucket
+        if not mask.any():
+            continue
+        total.add(
+            populate_metric(
+                dhs,
+                bucket_metric(relation.name, bucket),
+                item_ids[mask],
+                seed=derive_seed(seed, "bucket", bucket),
+                now=now,
+            )
+        )
+    return total
+
+
+def filter_bucket_metric(relation_name: str, bucket: int) -> Hashable:
+    """The DHS metric id of one filter-attribute histogram bucket."""
+    return (relation_name, "hist_b", bucket)
+
+
+def populate_filter_histogram_metrics(
+    dhs: DistributedHashSketch,
+    relation: Relation,
+    n_buckets: int,
+    seed: int = 0,
+    now: int = 0,
+) -> OpCost:
+    """Insert tuples under per-bucket metrics of the filter attribute."""
+    from repro.histograms.buckets import BucketSpec
+
+    if relation.filter_values is None:
+        raise ValueError(f"relation {relation.name!r} has no filter attribute")
+    spec = BucketSpec.equi_width(
+        relation.filter_domain[0], relation.filter_domain[1], n_buckets
+    )
+    bucket_of = spec.bucket_indices(relation.filter_values)
+    item_ids = relation.item_ids()
+    total = OpCost()
+    for bucket in range(n_buckets):
+        mask = bucket_of == bucket
+        if not mask.any():
+            continue
+        total.add(
+            populate_metric(
+                dhs,
+                filter_bucket_metric(relation.name, bucket),
+                item_ids[mask],
+                seed=derive_seed(seed, "filter-bucket", bucket),
+                now=now,
+            )
+        )
+    return total
+
+
+@dataclass
+class CountSample:
+    """Aggregated counting statistics over repeated trials."""
+
+    estimates: List[float] = field(default_factory=list)
+    truths: List[float] = field(default_factory=list)
+    hops: List[int] = field(default_factory=list)
+    nodes_visited: List[int] = field(default_factory=list)
+    bytes: List[float] = field(default_factory=list)
+    lookups: List[int] = field(default_factory=list)
+
+    def mean_hops(self) -> float:
+        return sum(self.hops) / len(self.hops)
+
+    def mean_nodes(self) -> float:
+        return sum(self.nodes_visited) / len(self.nodes_visited)
+
+    def mean_bytes(self) -> float:
+        return sum(self.bytes) / len(self.bytes)
+
+    def mean_abs_rel_error(self) -> float:
+        return sum(
+            abs(e / t - 1.0) for e, t in zip(self.estimates, self.truths)
+        ) / len(self.estimates)
+
+    def mean_rel_bias(self) -> float:
+        return sum(e / t - 1.0 for e, t in zip(self.estimates, self.truths)) / len(
+            self.estimates
+        )
+
+
+def sample_counts(
+    dhs: DistributedHashSketch,
+    metric_truths: Dict[Hashable, float],
+    trials: int = 8,
+    seed: int = 0,
+    now: int = 0,
+    metrics_per_count: Optional[Sequence[Hashable]] = None,
+) -> CountSample:
+    """Run repeated counts from random querying nodes and aggregate.
+
+    Each trial picks a random origin node (as the paper does), counts
+    every metric in ``metric_truths`` one at a time — or all at once
+    when ``metrics_per_count`` is given — and records cost and accuracy.
+    """
+    rng = rng_for(seed, "count-origins")
+    sample = CountSample()
+    for _ in range(trials):
+        origin = dhs.dht.random_live_node(rng)
+        if metrics_per_count is not None:
+            result = dhs.count_many(list(metrics_per_count), origin=origin, now=now)
+            sample.hops.append(result.cost.hops)
+            sample.nodes_visited.append(result.unique_probed)
+            sample.bytes.append(result.cost.bytes)
+            sample.lookups.append(result.cost.lookups)
+            for metric, truth in metric_truths.items():
+                if metric in result.estimates and truth > 0:
+                    sample.estimates.append(result.estimates[metric])
+                    sample.truths.append(truth)
+        else:
+            for metric, truth in metric_truths.items():
+                result = dhs.count(metric, origin=origin, now=now)
+                sample.hops.append(result.cost.hops)
+                sample.nodes_visited.append(result.unique_probed)
+                sample.bytes.append(result.cost.bytes)
+                sample.lookups.append(result.cost.lookups)
+                if truth > 0:
+                    sample.estimates.append(result.estimate())
+                    sample.truths.append(truth)
+    return sample

@@ -1,0 +1,109 @@
+"""Experiment: per-cell histogram accuracy (section 5.2, text).
+
+The paper: mean per-cell estimation error of ~8.6% with 64 bitmap
+vectors, dropping to ~7.7% at 128 and ~6.8% at 256 — i.e. cell error
+tracks the sketch's ``O(1/sqrt(m))`` noise because probe misses are
+negligible in their regime.
+
+Per-bucket cardinalities are ~1/buckets of the relation, so staying in
+the miss-free regime needs ``n_bucket >> 2 m N``; the defaults use a
+small overlay and a moderately large relation to reproduce the paper's
+declining-error-with-m shape at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.experiments.common import build_ring, populate_histogram_metrics
+from repro.experiments.report import format_table
+from repro.histograms.buckets import BucketSpec
+from repro.histograms.builder import DHSHistogramBuilder
+from repro.histograms.histogram import Histogram
+from repro.sim.seeds import derive_seed, rng_for
+from repro.workloads.relations import make_relation
+
+__all__ = ["HistogramAccuracyRow", "run_histogram_accuracy", "format_histogram_accuracy"]
+
+
+@dataclass
+class HistogramAccuracyRow:
+    """Mean per-cell error for one (m, estimator)."""
+
+    m: int
+    estimator: str
+    cell_error_pct: float
+    sketch_sigma_pct: float
+
+
+def run_histogram_accuracy(
+    ms: Sequence[int] = (64, 128, 256),
+    n_nodes: int = 64,
+    n_buckets: int = 20,
+    n_items: int = 2_400_000,
+    trials: int = 2,
+    seed: int = 0,
+) -> List[HistogramAccuracyRow]:
+    """Cell error versus ``m`` in the miss-free regime."""
+    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel"))
+    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
+    truth = Histogram.exact(spec, relation.values)
+    rows: List[HistogramAccuracyRow] = []
+    for m in ms:
+        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
+        writer = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=m, hash_seed=seed),
+            seed=derive_seed(seed, "writer", m),
+        )
+        populate_histogram_metrics(
+            writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
+        )
+        for estimator in ("sll", "pcsa"):
+            counter = DistributedHashSketch(
+                ring,
+                DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
+                seed=derive_seed(seed, "counter", m, estimator),
+            )
+            builder = DHSHistogramBuilder(counter, spec, relation.name)
+            rng = rng_for(seed, "origins", m, estimator)
+            errors = []
+            for _ in range(trials):
+                reconstruction = builder.reconstruct(origin=ring.random_live_node(rng))
+                errors.append(reconstruction.histogram.mean_cell_error(truth))
+            sketch_cls = counter.config.sketch_class()
+            rows.append(
+                HistogramAccuracyRow(
+                    m=m,
+                    estimator=estimator,
+                    cell_error_pct=100 * sum(errors) / len(errors),
+                    sketch_sigma_pct=100 * sketch_cls.expected_std_error(m),
+                )
+            )
+    return rows
+
+
+def format_histogram_accuracy(rows: List[HistogramAccuracyRow]) -> str:
+    """Render the per-cell error sweep."""
+    by_m: dict[int, dict[str, HistogramAccuracyRow]] = {}
+    for row in rows:
+        by_m.setdefault(row.m, {})[row.estimator] = row
+    table_rows = []
+    for m in sorted(by_m):
+        sll, pcsa = by_m[m]["sll"], by_m[m]["pcsa"]
+        table_rows.append(
+            [
+                m,
+                f"{sll.cell_error_pct:.1f}",
+                f"{pcsa.cell_error_pct:.1f}",
+                f"{sll.sketch_sigma_pct:.1f} / {pcsa.sketch_sigma_pct:.1f}",
+            ]
+        )
+    return format_table(
+        "Histogram per-cell error vs m",
+        ["m", "sLL cell err %", "PCSA cell err %", "theory sigma % (sLL/PCSA)"],
+        table_rows,
+    )

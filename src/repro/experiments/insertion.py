@@ -1,0 +1,111 @@
+"""Experiment: insertion and maintenance costs (paper section 5.2, text).
+
+The paper reports, for the 1024-node / 512-bitmap setup:
+
+* ~3.4 routing hops and ~27 bytes per single-item insertion/update;
+* per-node storage of ~384 kB per relation when maintaining 100
+  histogram buckets with 512 bitmaps each (theoretical worst case
+  ~400 kB = 100 buckets x 512 vectors x 8 B).
+
+``run_insertion_experiment`` measures the same three quantities: mean
+hops and bytes over per-item insertions, and the per-node storage
+distribution after loading a relation's histogram metrics.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.experiments.common import (
+    build_ring,
+    env_scale,
+    populate_histogram_metrics,
+)
+from repro.experiments.report import format_kv
+from repro.sim.seeds import rng_for
+from repro.workloads.relations import make_relation
+
+__all__ = ["InsertionReport", "run_insertion_experiment"]
+
+
+@dataclass
+class InsertionReport:
+    """Measured insertion/storage statistics."""
+
+    n_nodes: int
+    num_bitmaps: int
+    n_buckets: int
+    relation_size: int
+    mean_hops_per_insert: float
+    mean_bytes_per_insert: float
+    mean_storage_bytes_per_node: float
+    max_storage_bytes_per_node: float
+    theoretical_worst_case_bytes: float
+
+    def format(self) -> str:
+        return format_kv(
+            "Insertion & maintenance costs (section 5.2)",
+            [
+                ("nodes", self.n_nodes),
+                ("bitmaps (m)", self.num_bitmaps),
+                ("histogram buckets", self.n_buckets),
+                ("relation tuples", self.relation_size),
+                ("mean hops / insertion", self.mean_hops_per_insert),
+                ("mean bytes / insertion", self.mean_bytes_per_insert),
+                ("mean storage / node (kB)", self.mean_storage_bytes_per_node / 1024),
+                ("max storage / node (kB)", self.max_storage_bytes_per_node / 1024),
+                (
+                    "theoretical worst case (kB)",
+                    self.theoretical_worst_case_bytes / 1024,
+                ),
+            ],
+        )
+
+
+def run_insertion_experiment(
+    n_nodes: int = 1024,
+    num_bitmaps: int = 512,
+    n_buckets: int = 100,
+    scale: float | None = None,
+    probe_inserts: int = 2000,
+    seed: int = 0,
+) -> InsertionReport:
+    """Measure per-insertion cost and per-node storage for one relation."""
+    scale = env_scale(1e-2) if scale is None else scale
+    ring = build_ring(n_nodes, seed=seed)
+    config = DHSConfig(num_bitmaps=num_bitmaps)
+    dhs = DistributedHashSketch(ring, config, seed=seed)
+    relation = make_relation("R", max(1000, int(20_000_000 * scale)), seed=seed)
+
+    # Per-item insertion cost, sampled over random items/origins.
+    rng = rng_for(seed, "insert-probe")
+    hops: List[int] = []
+    bytes_per: List[float] = []
+    for _ in range(probe_inserts):
+        index = rng.randrange(relation.size)
+        origin = ring.random_live_node(rng)
+        cost = dhs.insert("probe-metric", relation.item_id(index), origin=origin)
+        hops.append(cost.hops)
+        bytes_per.append(cost.bytes)
+
+    # Storage after maintaining the full histogram for the relation.
+    populate_histogram_metrics(dhs, relation, n_buckets, seed=seed)
+    storage = list(dhs.storage_bytes_per_node().values())
+
+    return InsertionReport(
+        n_nodes=n_nodes,
+        num_bitmaps=num_bitmaps,
+        n_buckets=n_buckets,
+        relation_size=relation.size,
+        mean_hops_per_insert=statistics.mean(hops),
+        mean_bytes_per_insert=statistics.mean(bytes_per),
+        mean_storage_bytes_per_node=statistics.mean(storage),
+        max_storage_bytes_per_node=max(storage),
+        theoretical_worst_case_bytes=(
+            n_buckets * num_bitmaps * config.size_model.tuple_bytes
+        ),
+    )

@@ -1,0 +1,121 @@
+"""Experiment: Table 3 — histogram building/reconstruction costs.
+
+For each ``m``, the cost for a node to reconstruct a 100-bucket
+equi-width histogram of a relation stored in the overlay: nodes visited,
+hops, and bandwidth.  The paper's headline is structural: hop count
+matches a single-metric count (the bit→interval map is shared across
+buckets), while bandwidth scales with the bucket count — ~1.4/1.0 MB at
+paper scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.experiments.common import (
+    build_ring,
+    env_scale,
+    populate_histogram_metrics,
+)
+from repro.experiments.report import format_table
+from repro.histograms.buckets import BucketSpec
+from repro.histograms.builder import DHSHistogramBuilder
+from repro.histograms.histogram import Histogram
+from repro.sim.seeds import derive_seed, rng_for
+from repro.workloads.relations import make_relation
+
+__all__ = ["Table3Row", "run_table3", "format_table3"]
+
+
+@dataclass
+class Table3Row:
+    """One (m, estimator) row of Table 3 plus accuracy diagnostics."""
+
+    m: int
+    estimator: str
+    nodes_visited: float
+    hops: float
+    bw_kbytes: float
+    mean_cell_error_pct: float
+
+
+def run_table3(
+    n_nodes: int = 1024,
+    ms: Sequence[int] = (128, 256, 512, 1024),
+    n_buckets: int = 100,
+    scale: float | None = None,
+    trials: int = 2,
+    seed: int = 0,
+) -> List[Table3Row]:
+    """Reconstruction cost/accuracy of a relation's histogram per ``m``."""
+    scale = env_scale(1e-2) if scale is None else scale
+    relation = make_relation(
+        "R", max(2000, int(20_000_000 * scale)), seed=derive_seed(seed, "rel")
+    )
+    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
+    truth = Histogram.exact(spec, relation.values)
+    rows: List[Table3Row] = []
+    for m in ms:
+        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
+        writer = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=m, hash_seed=seed),
+            seed=derive_seed(seed, "writer", m),
+        )
+        populate_histogram_metrics(
+            writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
+        )
+        for estimator in ("sll", "pcsa"):
+            counter = DistributedHashSketch(
+                ring,
+                DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
+                seed=derive_seed(seed, "counter", m, estimator),
+            )
+            builder = DHSHistogramBuilder(counter, spec, relation.name)
+            rng = rng_for(seed, "hist-origins", m, estimator)
+            hops, nodes, bw, errors = [], [], [], []
+            for _ in range(trials):
+                origin = ring.random_live_node(rng)
+                reconstruction = builder.reconstruct(origin=origin)
+                hops.append(reconstruction.cost.hops)
+                nodes.append(reconstruction.count_result.unique_probed)
+                bw.append(reconstruction.cost.bytes)
+                errors.append(reconstruction.histogram.mean_cell_error(truth))
+            rows.append(
+                Table3Row(
+                    m=m,
+                    estimator=estimator,
+                    nodes_visited=sum(nodes) / len(nodes),
+                    hops=sum(hops) / len(hops),
+                    bw_kbytes=sum(bw) / len(bw) / 1024,
+                    mean_cell_error_pct=100 * sum(errors) / len(errors),
+                )
+            )
+    return rows
+
+
+def format_table3(rows: List[Table3Row], scale: float) -> str:
+    """Render like the paper's Table 3 (sLL/PCSA pairs) + accuracy."""
+    by_m: Dict[int, Dict[str, Table3Row]] = {}
+    for row in rows:
+        by_m.setdefault(row.m, {})[row.estimator] = row
+    table_rows = []
+    for m in sorted(by_m):
+        sll, pcsa = by_m[m]["sll"], by_m[m]["pcsa"]
+        table_rows.append(
+            [
+                m,
+                f"{sll.nodes_visited:.0f} / {pcsa.nodes_visited:.0f}",
+                f"{sll.hops:.0f} / {pcsa.hops:.0f}",
+                f"{sll.bw_kbytes:.1f} / {pcsa.bw_kbytes:.1f}",
+                f"{sll.mean_cell_error_pct:.1f} / {pcsa.mean_cell_error_pct:.1f}",
+            ]
+        )
+    return format_table(
+        f"Table 3: histogram reconstruction, sLL/PCSA (scale {scale:g})",
+        ["m", "nodes visited", "hops", "BW (kBytes)", "cell err (%)"],
+        table_rows,
+    )

@@ -1,0 +1,149 @@
+"""Pure-Python MD4 (RFC 1320).
+
+The paper's evaluation creates node and item identifiers with MD4, "selected
+due to its speed on 32-bit CPUs".  We implement it from scratch so the
+reproduction has no dependency on ``hashlib`` offering the legacy algorithm
+(OpenSSL 3 removed it from the default provider).
+
+MD4 is cryptographically broken; here it is used only as a pseudo-uniform
+bit mixer, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+
+__all__ = ["MD4", "md4_digest", "md4_hexdigest", "md4_int"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _lrot(value: int, shift: int) -> int:
+    value &= _MASK32
+    return ((value << shift) | (value >> (32 - shift))) & _MASK32
+
+
+def _f(x: int, y: int, z: int) -> int:
+    return (x & y) | (~x & z)
+
+
+def _g(x: int, y: int, z: int) -> int:
+    return (x & y) | (x & z) | (y & z)
+
+
+def _h(x: int, y: int, z: int) -> int:
+    return x ^ y ^ z
+
+
+class MD4:
+    """Incremental MD4 with the familiar ``update``/``digest`` interface."""
+
+    digest_size = 16
+    block_size = 64
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
+        self._length = 0
+        self._buffer = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> None:
+        """Feed ``data`` into the hash state."""
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError(f"MD4 expects bytes, got {type(data).__name__}")
+        data = bytes(data)
+        self._length += len(data)
+        buf = self._buffer + data
+        offset = 0
+        while offset + 64 <= len(buf):
+            self._compress(buf[offset : offset + 64])
+            offset += 64
+        self._buffer = buf[offset:]
+
+    def digest(self) -> bytes:
+        """Return the 16-byte digest of the data fed so far."""
+        clone = MD4()
+        clone._state = list(self._state)
+        clone._length = self._length
+        clone._buffer = self._buffer
+        clone._finalize()
+        return struct.pack("<4I", *clone._state)
+
+    def hexdigest(self) -> str:
+        """Return the digest as a 32-character lowercase hex string."""
+        return self.digest().hex()
+
+    def copy(self) -> "MD4":
+        """Return an independent copy of the current hash state."""
+        clone = MD4()
+        clone._state = list(self._state)
+        clone._length = self._length
+        clone._buffer = self._buffer
+        return clone
+
+    def _finalize(self) -> None:
+        bit_length = (self._length * 8) & 0xFFFFFFFFFFFFFFFF
+        pad_length = 56 - (self._length % 64)
+        if pad_length <= 0:
+            pad_length += 64
+        padding = b"\x80" + b"\x00" * (pad_length - 1)
+        tail = struct.pack("<Q", bit_length)
+        buf = self._buffer + padding + tail
+        self._buffer = b""
+        for offset in range(0, len(buf), 64):
+            self._compress(buf[offset : offset + 64])
+
+    def _compress(self, block: bytes) -> None:
+        x = struct.unpack("<16I", block)
+        a, b, c, d = self._state
+
+        # Round 1: F, shifts 3/7/11/19, word order 0..15.
+        for i in range(0, 16, 4):
+            a = _lrot(a + _f(b, c, d) + x[i + 0], 3)
+            d = _lrot(d + _f(a, b, c) + x[i + 1], 7)
+            c = _lrot(c + _f(d, a, b) + x[i + 2], 11)
+            b = _lrot(b + _f(c, d, a) + x[i + 3], 19)
+
+        # Round 2: G + 0x5A827999, shifts 3/5/9/13, column-major word order.
+        for i in range(4):
+            a = _lrot(a + _g(b, c, d) + x[i + 0] + 0x5A827999, 3)
+            d = _lrot(d + _g(a, b, c) + x[i + 4] + 0x5A827999, 5)
+            c = _lrot(c + _g(d, a, b) + x[i + 8] + 0x5A827999, 9)
+            b = _lrot(b + _g(c, d, a) + x[i + 12] + 0x5A827999, 13)
+
+        # Round 3: H + 0x6ED9EBA1, shifts 3/9/11/15, bit-reversed word order.
+        for i in (0, 2, 1, 3):
+            a = _lrot(a + _h(b, c, d) + x[i + 0] + 0x6ED9EBA1, 3)
+            d = _lrot(d + _h(a, b, c) + x[i + 8] + 0x6ED9EBA1, 9)
+            c = _lrot(c + _h(d, a, b) + x[i + 4] + 0x6ED9EBA1, 11)
+            b = _lrot(b + _h(c, d, a) + x[i + 12] + 0x6ED9EBA1, 15)
+
+        self._state = [
+            (self._state[0] + a) & _MASK32,
+            (self._state[1] + b) & _MASK32,
+            (self._state[2] + c) & _MASK32,
+            (self._state[3] + d) & _MASK32,
+        ]
+
+
+def md4_digest(data: bytes) -> bytes:
+    """One-shot MD4 digest of ``data``."""
+    return MD4(data).digest()
+
+
+def md4_hexdigest(data: bytes) -> str:
+    """One-shot MD4 hex digest of ``data``."""
+    return MD4(data).hexdigest()
+
+
+def md4_int(data: bytes, bits: int = 64) -> int:
+    """MD4 digest truncated to a ``bits``-bit unsigned integer.
+
+    The digest is interpreted little-endian (matching the internal word
+    order) and masked to the requested width; ``bits`` may not exceed 128.
+    """
+    if not 0 < bits <= 128:
+        raise ValueError(f"bits must be in (0, 128], got {bits}")
+    value = int.from_bytes(md4_digest(data), "little")
+    return value & ((1 << bits) - 1)

@@ -1,0 +1,27 @@
+"""DHS-backed histograms: bucket specs, histograms, builders, and the
+advanced (v-optimal / maxdiff / compressed) constructions of footnote 5."""
+
+from repro.histograms.advanced import (
+    aggregate_micro,
+    compressed_boundaries,
+    derive_histogram,
+    equi_depth_boundaries,
+    maxdiff_boundaries,
+    v_optimal_boundaries,
+)
+from repro.histograms.buckets import BucketSpec
+from repro.histograms.builder import DHSHistogramBuilder, HistogramReconstruction
+from repro.histograms.histogram import Histogram
+
+__all__ = [
+    "aggregate_micro",
+    "compressed_boundaries",
+    "derive_histogram",
+    "equi_depth_boundaries",
+    "maxdiff_boundaries",
+    "v_optimal_boundaries",
+    "BucketSpec",
+    "DHSHistogramBuilder",
+    "HistogramReconstruction",
+    "Histogram",
+]

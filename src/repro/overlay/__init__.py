@@ -1,0 +1,30 @@
+"""DHT overlay substrate: id space, Chord, Kademlia, replication, failures."""
+
+from repro.overlay.chord import ChordRing
+from repro.overlay.dht import DHTProtocol, LookupResult
+from repro.overlay.failures import fail_fraction, fail_nodes
+from repro.overlay.idspace import IdSpace
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.messages import DEFAULT_SIZE_MODEL, SizeModel
+from repro.overlay.node import Node
+from repro.overlay.pastry import PastryOverlay
+from repro.overlay.replication import replica_chain, replicate_to_successors
+from repro.overlay.stats import LoadTracker, OpCost
+
+__all__ = [
+    "ChordRing",
+    "DHTProtocol",
+    "LookupResult",
+    "fail_fraction",
+    "fail_nodes",
+    "IdSpace",
+    "KademliaOverlay",
+    "DEFAULT_SIZE_MODEL",
+    "SizeModel",
+    "Node",
+    "PastryOverlay",
+    "replica_chain",
+    "replicate_to_successors",
+    "LoadTracker",
+    "OpCost",
+]

@@ -1,0 +1,217 @@
+"""The DHT abstraction DHS is written against.
+
+The paper stresses that DHS is *DHT-agnostic*: it only needs the classic
+``insert(key, value)`` / ``lookup(key)`` primitives plus the ability to
+walk a node's immediate ring neighbours (used by the counting algorithm's
+retry phase).  :class:`DHTProtocol` captures exactly that contract;
+:mod:`repro.overlay.chord` and :mod:`repro.overlay.kademlia` provide the
+two concrete geometries.
+
+Operations return ``(result, OpCost)`` pairs so callers can aggregate the
+hop/bandwidth accounting the evaluation reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import EmptyOverlayError, NodeNotFoundError
+from repro.overlay.idspace import IdSpace
+from repro.overlay.node import Node
+from repro.overlay.stats import LoadTracker, OpCost
+
+__all__ = ["DHTProtocol", "LookupResult"]
+
+
+@dataclass
+class LookupResult:
+    """Outcome of routing a key to its responsible node."""
+
+    node_id: int
+    cost: OpCost
+
+
+class DHTProtocol(ABC):
+    """Common machinery for the simulated DHT geometries.
+
+    Subclasses implement the geometry: who is responsible for a key, and
+    how a lookup is routed hop by hop.
+    """
+
+    def __init__(self, space: IdSpace) -> None:
+        self.space = space
+        self._nodes: dict[int, Node] = {}
+        self._ids: List[int] = []  # sorted ids of live nodes
+        #: Per-node access counter (routing + storage + probes).
+        self.load = LoadTracker()
+        #: Optional application hook merging two store values for the same
+        #: key during a graceful leave: ``merge(existing, incoming)`` with
+        #: ``existing`` possibly ``None``.  Defaults to max-wins.
+        self.store_merge: Optional[Callable[[Any, Any], Any]] = None
+
+    # ------------------------------------------------------------------
+    # Membership.
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of live nodes."""
+        return len(self._ids)
+
+    def node_ids(self) -> Sequence[int]:
+        """Sorted ids of the live nodes (do not mutate)."""
+        return self._ids
+
+    def node(self, node_id: int) -> Node:
+        """The :class:`Node` for ``node_id``; raises if unknown/dead."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def has_node(self, node_id: int) -> bool:
+        """Whether ``node_id`` is a live member."""
+        return node_id in self._nodes
+
+    def add_node(self, node_id: int) -> Node:
+        """Join a new (empty) node under ``node_id``."""
+        node_id = self.space.wrap(node_id)
+        if node_id in self._nodes:
+            raise ValueError(f"node id {node_id:#x} already present")
+        node = Node(node_id)
+        self._nodes[node_id] = node
+        self._insert_sorted(node_id)
+        return node
+
+    def remove_node(self, node_id: int, graceful: bool = True) -> None:
+        """Remove a node.
+
+        ``graceful=True`` models a *leave*: stored entries are merged into
+        the clockwise successor (newer/larger values win, matching DHS
+        soft-state expiries).  ``graceful=False`` models a *crash*: the
+        node's data is lost — the case the replication machinery exists
+        for.
+        """
+        node = self.node(node_id)
+        self._delete_sorted(node_id)
+        del self._nodes[node_id]
+        node.alive = False
+        if graceful and self._ids:
+            heir = self.node(self.successor_id(node_id))
+            for key, value in node.store.items():
+                existing = heir.store.get(key)
+                if self.store_merge is not None:
+                    heir.store[key] = self.store_merge(existing, value)
+                elif existing is None:
+                    heir.store[key] = value
+                else:
+                    try:
+                        heir.store[key] = max(existing, value)
+                    except TypeError:
+                        heir.store[key] = value
+
+    def fail_node(self, node_id: int) -> None:
+        """Crash ``node_id`` (data lost)."""
+        self.remove_node(node_id, graceful=False)
+
+    def mark_failed(self, node_id: int) -> None:
+        """Crash ``node_id`` *without* the overlay noticing (lazy failure).
+
+        The node stays in everyone's routing state; lookups discover the
+        crash on contact, pay a timeout hop, and repair (section 3.5's
+        ``p_f`` model).  Its stored data is lost either way.
+        """
+        self.node(node_id).alive = False
+
+    def is_alive(self, node_id: int) -> bool:
+        """Whether ``node_id`` is present and not lazily failed."""
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    def repair(self, node_id: int) -> None:
+        """Evict a discovered-dead node from the routing state."""
+        if node_id in self._nodes:
+            self.remove_node(node_id, graceful=False)
+
+    def _insert_sorted(self, node_id: int) -> None:
+        index = bisect.bisect_left(self._ids, node_id)
+        self._ids.insert(index, node_id)
+
+    def _delete_sorted(self, node_id: int) -> None:
+        index = bisect.bisect_left(self._ids, node_id)
+        if index >= len(self._ids) or self._ids[index] != node_id:
+            raise NodeNotFoundError(node_id)
+        del self._ids[index]
+
+    # ------------------------------------------------------------------
+    # Geometry.
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def owner_of(self, key: int) -> int:
+        """Id of the node responsible for ``key`` (ground truth)."""
+
+    @abstractmethod
+    def lookup(self, key: int, origin: Optional[int] = None) -> LookupResult:
+        """Route ``key`` from ``origin`` to its owner, counting hops."""
+
+    def successor_id(self, node_id: int) -> int:
+        """Clockwise ring neighbour of ``node_id`` (numeric order)."""
+        if not self._ids:
+            raise EmptyOverlayError("overlay has no live nodes")
+        index = bisect.bisect_right(self._ids, node_id)
+        return self._ids[index % len(self._ids)]
+
+    def predecessor_id(self, node_id: int) -> int:
+        """Counter-clockwise ring neighbour of ``node_id``."""
+        if not self._ids:
+            raise EmptyOverlayError("overlay has no live nodes")
+        index = bisect.bisect_left(self._ids, node_id)
+        return self._ids[index - 1]
+
+    # ------------------------------------------------------------------
+    # Storage primitives.
+    # ------------------------------------------------------------------
+    def store(
+        self,
+        key: int,
+        write: Callable[[Node], None],
+        origin: Optional[int] = None,
+        payload_bytes: int = 8,
+    ) -> Tuple[int, OpCost]:
+        """Route to the owner of ``key`` and apply ``write`` to its store.
+
+        Returns the storing node id and the operation cost (payload
+        carried on every routed hop, matching the paper's accounting).
+        """
+        result = self.lookup(key, origin=origin)
+        node = self.node(result.node_id)
+        write(node)
+        self.load.record(result.node_id)
+        cost = result.cost
+        cost.bytes += max(0, result.cost.hops) * payload_bytes
+        return result.node_id, cost
+
+    def probe(
+        self,
+        node_id: int,
+        read: Callable[[Node], Any],
+    ) -> Any:
+        """Read from a specific node's store (no routing — caller pays)."""
+        node = self.node(node_id)
+        self.load.record(node_id)
+        return read(node)
+
+    def random_live_node(self, rng) -> int:
+        """A uniformly random live (not lazily-failed) node id."""
+        if not self._ids:
+            raise EmptyOverlayError("overlay has no live nodes")
+        for _ in range(64):
+            candidate = rng.choice(self._ids)
+            if self.is_alive(candidate):
+                return candidate
+        survivors = [node_id for node_id in self._ids if self.is_alive(node_id)]
+        if not survivors:
+            raise EmptyOverlayError("every node is (lazily) failed")
+        return rng.choice(survivors)

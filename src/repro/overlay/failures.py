@@ -1,0 +1,49 @@
+"""Failure injection for robustness experiments.
+
+The paper analyses DHS fault tolerance under a per-node failure
+probability ``p_f`` (section 3.5); these helpers crash a random fraction
+of the overlay *after* data has been inserted, which is the scenario the
+replication and bit-shift mechanisms defend against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.overlay.dht import DHTProtocol
+from repro.sim.seeds import rng_for
+
+__all__ = ["fail_fraction", "fail_nodes"]
+
+
+def fail_nodes(dht: DHTProtocol, node_ids: List[int], lazy: bool = False) -> None:
+    """Crash an explicit set of nodes (their stored data is lost).
+
+    ``lazy=True`` leaves the crashed nodes in everyone's routing state:
+    lookups discover them on contact, pay a timeout hop, and repair —
+    the paper's ``p_f`` failure model.
+    """
+    for node_id in node_ids:
+        if lazy:
+            dht.mark_failed(node_id)
+        else:
+            dht.fail_node(node_id)
+
+
+def fail_fraction(
+    dht: DHTProtocol, fraction: float, seed: int = 0, lazy: bool = False
+) -> List[int]:
+    """Crash a uniformly random ``fraction`` of live nodes.
+
+    Returns the failed ids.  At least one node always survives so the
+    overlay stays routable.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ConfigurationError(f"fraction must be in [0, 1), got {fraction}")
+    rng = rng_for(seed, "failures")
+    population = [node_id for node_id in dht.node_ids() if dht.is_alive(node_id)]
+    count = min(int(len(population) * fraction), len(population) - 1)
+    victims = rng.sample(population, count)
+    fail_nodes(dht, victims, lazy=lazy)
+    return victims

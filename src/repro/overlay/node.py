@@ -1,0 +1,36 @@
+"""Overlay node state.
+
+A node is deliberately thin: an identifier, a liveness flag, and an
+application-managed key/value store.  All routing intelligence lives in
+the overlay (finger tables are derived on demand from the ring membership,
+modelling an ideally-stabilized DHT, which is also what the paper's
+evaluation assumes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One overlay node."""
+
+    __slots__ = ("node_id", "alive", "store")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.alive = True
+        #: Application-level storage; DHS keeps
+        #: ``(metric_id, vector_id, bit) -> expiry`` entries here.
+        self.store: Dict[Any, Any] = {}
+
+    @property
+    def storage_entries(self) -> int:
+        """Number of stored entries (the per-node storage-load metric)."""
+        return len(self.store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"Node({self.node_id:#x}, {state}, entries={len(self.store)})"

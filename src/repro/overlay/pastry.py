@@ -1,0 +1,213 @@
+"""Simulated Pastry overlay (Rowstron & Druschel, Middleware 2001).
+
+The third DHT geometry (the paper names Pastry alongside Chord, CAN and
+Kademlia): keys live on the *numerically closest* node, and routing
+fixes one base-``2^b`` digit of shared prefix per hop via a routing
+table, falling back to leaf-set steps near the destination — expected
+``O(log_{2^b} N)`` hops.
+
+As with the other overlays, tables are derived on demand from the live
+membership (an ideally-maintained overlay).  The numeric-neighbour walk
+DHS's retry phase uses maps onto Pastry's leaf set, which is exactly the
+structure real Pastry maintains.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError, EmptyOverlayError
+from repro.overlay.dht import DHTProtocol, LookupResult
+from repro.overlay.idspace import IdSpace
+from repro.overlay.stats import OpCost
+from repro.sim.seeds import rng_for
+
+__all__ = ["PastryOverlay"]
+
+
+class PastryOverlay(DHTProtocol):
+    """An N-node Pastry-style overlay over an ``L``-bit id space."""
+
+    def __init__(self, space: IdSpace, digit_bits: int = 4, seed: int = 0) -> None:
+        super().__init__(space)
+        if not 1 <= digit_bits <= 8:
+            raise ConfigurationError(f"digit_bits must be in [1, 8], got {digit_bits}")
+        if space.bits % digit_bits:
+            raise ConfigurationError(
+                f"digit_bits ({digit_bits}) must divide the id width ({space.bits})"
+            )
+        self.digit_bits = digit_bits
+        self._seed = seed
+        self._contact_cache: Dict[Tuple[int, int], Optional[int]] = {}
+
+    @classmethod
+    def build(
+        cls, n_nodes: int, bits: int = 64, digit_bits: int = 4, seed: int = 0
+    ) -> "PastryOverlay":
+        """Create an overlay of ``n_nodes`` with pseudo-random ids."""
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        space = IdSpace(bits)
+        if n_nodes > space.size:
+            raise ConfigurationError(
+                f"cannot place {n_nodes} nodes in a {bits}-bit id space"
+            )
+        overlay = cls(space, digit_bits=digit_bits, seed=seed)
+        rng = rng_for(seed, "pastry-ids")
+        seen: set[int] = set()
+        while len(seen) < n_nodes:
+            candidate = rng.randrange(space.size)
+            if candidate not in seen:
+                seen.add(candidate)
+                overlay.add_node(candidate)
+        return overlay
+
+    @classmethod
+    def from_ids(
+        cls, node_ids: Iterable[int], bits: int = 64, digit_bits: int = 4, seed: int = 0
+    ) -> "PastryOverlay":
+        """Create an overlay from explicit node ids."""
+        overlay = cls(IdSpace(bits), digit_bits=digit_bits, seed=seed)
+        for node_id in node_ids:
+            overlay.add_node(node_id)
+        if overlay.size == 0:
+            raise ConfigurationError("from_ids needs at least one node id")
+        return overlay
+
+    # ------------------------------------------------------------------
+    # Membership (invalidate routing contacts on churn).
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int):
+        self._contact_cache.clear()
+        return super().add_node(node_id)
+
+    def remove_node(self, node_id: int, graceful: bool = True) -> None:
+        self._contact_cache.clear()
+        super().remove_node(node_id, graceful=graceful)
+
+    # ------------------------------------------------------------------
+    # Geometry.
+    # ------------------------------------------------------------------
+    def _circular_distance(self, a: int, b: int) -> int:
+        forward = self.space.distance(a, b)
+        return min(forward, self.space.size - forward)
+
+    def owner_of(self, key: int) -> int:
+        """The numerically closest live node (ties → lower id)."""
+        if not self._ids:
+            raise EmptyOverlayError("overlay has no live nodes")
+        key = self.space.wrap(key)
+        index = bisect.bisect_left(self._ids, key)
+        candidates = {
+            self._ids[index % len(self._ids)],
+            self._ids[index - 1],
+        }
+        return min(
+            sorted(candidates),
+            key=lambda node: self._circular_distance(node, key),
+        )
+
+    def shared_digits(self, a: int, b: int) -> int:
+        """Number of leading base-``2^b`` digits ``a`` and ``b`` share."""
+        n_digits = self.space.bits // self.digit_bits
+        for digit in range(n_digits):
+            shift = self.space.bits - (digit + 1) * self.digit_bits
+            if (a >> shift) != (b >> shift):
+                return digit
+        return n_digits
+
+    def _prefix_range(self, key: int, digits: int) -> Tuple[int, int]:
+        """Sorted-index range of nodes sharing ``digits`` leading digits
+        (and the next digit) with ``key``."""
+        shift = self.space.bits - (digits + 1) * self.digit_bits
+        base = (key >> shift) << shift
+        lo = bisect.bisect_left(self._ids, base)
+        hi = bisect.bisect_left(self._ids, base + (1 << shift))
+        return lo, hi
+
+    def routing_contact(self, node_id: int, key: int) -> Optional[int]:
+        """A cached contact sharing one more digit with ``key`` than
+        ``node_id`` does (None when that routing-table cell is empty)."""
+        digits = self.shared_digits(node_id, key)
+        cache_key = (node_id, (key >> (self.space.bits - (digits + 1) * self.digit_bits)))
+        if cache_key in self._contact_cache:
+            return self._contact_cache[cache_key]
+        lo, hi = self._prefix_range(key, digits)
+        if lo >= hi:
+            contact: Optional[int] = None
+        else:
+            rng = rng_for(self._seed, "pastry-cell", node_id, cache_key[1])
+            contact = self._ids[rng.randrange(lo, hi)]
+            if contact == node_id:
+                contact = self._ids[lo + (hi - lo) // 2]
+                if contact == node_id:
+                    contact = None
+        self._contact_cache[cache_key] = contact
+        return contact
+
+    #: Leaf-set half-size (numeric neighbours kept per side).
+    LEAF_SET_HALF = 8
+
+    def _leaf_set(self, node_id: int) -> list[int]:
+        """The node's leaf set: nearest neighbours on both sides."""
+        leaves = []
+        cursor = node_id
+        for _ in range(min(self.LEAF_SET_HALF, self.size - 1)):
+            cursor = self.successor_id(cursor)
+            leaves.append(cursor)
+        cursor = node_id
+        for _ in range(min(self.LEAF_SET_HALF, self.size - 1)):
+            cursor = self.predecessor_id(cursor)
+            leaves.append(cursor)
+        return leaves or [node_id]
+
+    def lookup(self, key: int, origin: Optional[int] = None) -> LookupResult:
+        """Prefix routing with leaf-set fallback, counting hops."""
+        if not self._ids:
+            raise EmptyOverlayError("overlay has no live nodes")
+        key = self.space.wrap(key)
+        if origin is None:
+            origin = self._ids[0]
+        current = origin
+        cost = OpCost(nodes_visited=[origin], lookups=1)
+        self.load.record(origin)
+        while True:
+            destination = self.owner_of(key)
+            if not self.is_alive(destination):
+                cost.hops += 1
+                cost.messages += 1
+                self.repair(destination)
+                continue
+            if current == destination:
+                break
+            contact = self.routing_contact(current, key)
+            if contact is not None and contact != current and (
+                self.shared_digits(contact, key) > self.shared_digits(current, key)
+            ):
+                nxt = contact
+            else:
+                # Leaf-set step: Pastry keeps ``2 * LEAF_SET_HALF``
+                # numeric neighbours; when the routing cell is empty,
+                # jump to the leaf closest to the key (the destination
+                # itself once it enters the leaf set).
+                leaves = self._leaf_set(current)
+                nxt = min(
+                    leaves,
+                    key=lambda node: self._circular_distance(node, key),
+                )
+                if self._circular_distance(nxt, key) >= self._circular_distance(current, key):
+                    nxt = destination  # equidistant twin: one direct hop
+            if not self.is_alive(nxt):
+                cost.hops += 1
+                cost.messages += 1
+                self.repair(nxt)
+                continue
+            current = nxt
+            cost.hops += 1
+            cost.messages += 1
+            cost.nodes_visited.append(current)
+            self.load.record(current)
+            if cost.hops > 4 * self.space.bits:
+                raise RuntimeError("Pastry routing failed to converge")
+        return LookupResult(node_id=destination, cost=cost)

@@ -1,0 +1,55 @@
+"""Successor-list replication (paper section 3.5).
+
+When inserting or refreshing a DHS bit, the set bit is copied to ``R``
+successors of the storing node; a counting probe that hits a failed or
+empty node can then walk up to ``R`` successors before declaring the bit
+unset.  Each replica write costs one extra hop (the successors are direct
+neighbours), so insertion stays ``O(log N)`` total for constant ``R``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.overlay.dht import DHTProtocol
+from repro.overlay.node import Node
+from repro.overlay.stats import OpCost
+
+__all__ = ["replicate_to_successors", "replica_chain"]
+
+
+def replica_chain(dht: DHTProtocol, node_id: int, degree: int) -> List[int]:
+    """The ``degree`` distinct successors of ``node_id`` (live nodes)."""
+    chain: List[int] = []
+    current = node_id
+    for _ in range(degree):
+        current = dht.successor_id(current)
+        if current == node_id:
+            break  # wrapped around a tiny ring
+        chain.append(current)
+    return chain
+
+
+def replicate_to_successors(
+    dht: DHTProtocol,
+    node_id: int,
+    write: Callable[[Node], None],
+    degree: int,
+    payload_bytes: int = 8,
+) -> Optional[OpCost]:
+    """Apply ``write`` to ``degree`` successors of ``node_id``.
+
+    Returns the extra cost (1 hop per replica), or ``None`` when
+    ``degree`` is zero.
+    """
+    if degree <= 0:
+        return None
+    cost = OpCost()
+    for replica in replica_chain(dht, node_id, degree):
+        write(dht.node(replica))
+        dht.load.record(replica)
+        cost.hops += 1
+        cost.messages += 1
+        cost.bytes += payload_bytes
+        cost.nodes_visited.append(replica)
+    return cost

@@ -1,0 +1,116 @@
+"""Cost accounting for overlay operations.
+
+The paper evaluates DHS by *counting* — routing hops, bytes moved, nodes
+visited, per-node storage and access load — rather than wall-clock timing.
+:class:`OpCost` is the unit every overlay/DHS operation returns;
+:class:`LoadTracker` aggregates per-node access counts for the
+load-balancing analysis (constraint 3 of the paper's introduction).
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+__all__ = ["OpCost", "LoadTracker"]
+
+
+@dataclass
+class OpCost:
+    """Hop/byte/visit tally of one (or many summed) overlay operations."""
+
+    hops: int = 0
+    bytes: float = 0.0
+    messages: int = 0
+    nodes_visited: List[int] = field(default_factory=list)
+    lookups: int = 0
+
+    def add(self, other: "OpCost") -> "OpCost":
+        """Accumulate ``other`` into this cost (in place)."""
+        self.hops += other.hops
+        self.bytes += other.bytes
+        self.messages += other.messages
+        self.nodes_visited.extend(other.nodes_visited)
+        self.lookups += other.lookups
+        return self
+
+    def __iadd__(self, other: "OpCost") -> "OpCost":
+        return self.add(other)
+
+    @property
+    def unique_nodes(self) -> int:
+        """Number of distinct nodes visited."""
+        return len(set(self.nodes_visited))
+
+    @classmethod
+    def total(cls, costs: Iterable["OpCost"]) -> "OpCost":
+        """Sum a collection of costs into a fresh one."""
+        out = cls()
+        for cost in costs:
+            out.add(cost)
+        return out
+
+
+class LoadTracker:
+    """Per-node access counter with simple imbalance statistics.
+
+    ``record(node)`` is called by the overlay whenever a node handles a
+    message (routing step, store, or probe).  The summary statistics feed
+    the access-load-balance comparison between DHS and the
+    one-node-per-counter baseline.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+
+    def record(self, node_id: int, amount: int = 1) -> None:
+        """Charge ``amount`` accesses to ``node_id``."""
+        self._counts[node_id] += amount
+
+    def count(self, node_id: int) -> int:
+        """Accesses charged to ``node_id`` so far."""
+        return self._counts[node_id]
+
+    def counts(self) -> Dict[int, int]:
+        """A copy of the whole access map."""
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        """Forget all recorded accesses."""
+        self._counts.clear()
+
+    @property
+    def total(self) -> int:
+        """Total accesses across all nodes."""
+        return sum(self._counts.values())
+
+    def max_load(self) -> int:
+        """Largest per-node access count (0 when nothing recorded)."""
+        return max(self._counts.values(), default=0)
+
+    def imbalance(self, population: Iterable[int]) -> float:
+        """``max / mean`` access load over ``population`` (1.0 = perfect).
+
+        Nodes in ``population`` that were never accessed count as zeros,
+        which is what makes a hot single-counter node show up as a huge
+        imbalance figure.
+        """
+        loads = [self._counts.get(node, 0) for node in population]
+        if not loads:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        return max(loads) / mean
+
+    def coefficient_of_variation(self, population: Iterable[int]) -> float:
+        """stddev / mean of access load over ``population``."""
+        loads = [self._counts.get(node, 0) for node in population]
+        if len(loads) < 2:
+            return 0.0
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        return statistics.pstdev(loads) / mean

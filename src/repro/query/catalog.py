@@ -1,0 +1,151 @@
+"""Statistics catalog for the distributed query optimizer.
+
+A catalog maps relation names to the statistics the optimizer consumes:
+a histogram over the join attribute plus the tuple width.  Catalogs can
+be built exactly (ground truth, for evaluating plan quality) or from DHS
+reconstructions (what a real node would obtain over the network, at the
+reconstruction cost the paper reports in Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.dhs import DistributedHashSketch
+from repro.errors import QueryError
+from repro.histograms.buckets import BucketSpec
+from repro.histograms.builder import DHSHistogramBuilder
+from repro.histograms.histogram import Histogram
+from repro.overlay.stats import OpCost
+from repro.workloads.relations import Relation
+
+__all__ = ["CatalogEntry", "Catalog"]
+
+
+@dataclass
+class CatalogEntry:
+    """Optimizer-facing statistics of one relation.
+
+    ``filter_histogram`` (over the non-join attribute ``b``, when the
+    relation has one) supports selection predicates under the classic
+    attribute-value-independence assumption.
+    """
+
+    name: str
+    histogram: Histogram
+    tuple_bytes: int
+    filter_histogram: Optional[Histogram] = None
+
+    @property
+    def cardinality(self) -> float:
+        """Estimated tuple count."""
+        return self.histogram.total
+
+    @property
+    def bytes(self) -> float:
+        """Estimated relation size in bytes."""
+        return self.cardinality * self.tuple_bytes
+
+
+@dataclass
+class Catalog:
+    """Named collection of relation statistics."""
+
+    entries: Dict[str, CatalogEntry] = field(default_factory=dict)
+    #: Cost of acquiring the statistics (zero for exact catalogs).
+    acquisition_cost: OpCost = field(default_factory=OpCost)
+
+    def add(self, entry: CatalogEntry) -> None:
+        """Register a relation's statistics."""
+        self.entries[entry.name] = entry
+
+    def entry(self, name: str) -> CatalogEntry:
+        """Statistics of ``name``; raises QueryError when unknown."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise QueryError(f"relation {name!r} not in catalog") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+    @classmethod
+    def exact(
+        cls,
+        relations: list[Relation],
+        spec: BucketSpec,
+        filter_buckets: int = 20,
+    ) -> "Catalog":
+        """Ground-truth catalog from materialized relations."""
+        catalog = cls()
+        for relation in relations:
+            filter_histogram = None
+            if relation.filter_values is not None:
+                filter_spec = BucketSpec.equi_width(
+                    relation.filter_domain[0], relation.filter_domain[1], filter_buckets
+                )
+                filter_histogram = Histogram.exact(filter_spec, relation.filter_values)
+            catalog.add(
+                CatalogEntry(
+                    name=relation.name,
+                    histogram=Histogram.exact(spec, relation.values),
+                    tuple_bytes=relation.tuple_bytes,
+                    filter_histogram=filter_histogram,
+                )
+            )
+        return catalog
+
+    @classmethod
+    def from_dhs(
+        cls,
+        dhs: DistributedHashSketch,
+        relations: list[Relation],
+        spec: BucketSpec,
+        origin: Optional[int] = None,
+        now: int = 0,
+        filter_buckets: int = 0,
+    ) -> "Catalog":
+        """Catalog reconstructed over the network from DHS histograms.
+
+        ``acquisition_cost`` accumulates the reconstruction cost of every
+        relation's histogram — the ~1 MB the paper compares against the
+        tens of MB a bad join order wastes.
+
+        ``filter_buckets > 0`` additionally reconstructs the filter-
+        attribute histograms (the caller must have populated the
+        ``(name, "hist_b", i)`` metrics, e.g. via
+        ``repro.experiments.common.populate_filter_histogram_metrics``).
+        """
+        catalog = cls()
+        for relation in relations:
+            builder = DHSHistogramBuilder(dhs, spec, relation.name)
+            reconstruction = builder.reconstruct(origin=origin, now=now)
+            catalog.acquisition_cost.add(reconstruction.cost)
+            filter_histogram = None
+            if filter_buckets > 0 and relation.filter_domain is not None:
+                filter_spec = BucketSpec.equi_width(
+                    relation.filter_domain[0],
+                    relation.filter_domain[1],
+                    filter_buckets,
+                )
+                metrics = [
+                    (relation.name, "hist_b", i) for i in range(filter_buckets)
+                ]
+                result = dhs.count_many(metrics, origin=origin, now=now)
+                catalog.acquisition_cost.add(result.cost)
+                filter_histogram = Histogram.from_counts(
+                    filter_spec, [result.estimates[m] for m in metrics]
+                )
+            catalog.add(
+                CatalogEntry(
+                    name=relation.name,
+                    histogram=reconstruction.histogram,
+                    tuple_bytes=relation.tuple_bytes,
+                    filter_histogram=filter_histogram,
+                )
+            )
+        return catalog

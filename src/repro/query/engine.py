@@ -1,0 +1,96 @@
+"""Execution of join plans over materialized relations.
+
+The engine "runs" a plan against the simulated relations: every join
+node ships both inputs (PIER's symmetric rehash), and intermediate
+cardinalities are computed *exactly* via per-value frequency vectors —
+for equi-joins on one attribute, ``freq_{R⋈S}(v) = freq_R(v)·freq_S(v)``.
+The result is the ground-truth bytes a plan actually transfers, used to
+judge the optimizer's histogram-based choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.plans import BaseRel, PlanNode
+from repro.workloads.relations import Relation
+
+__all__ = ["ExecutionResult", "execute_plan"]
+
+#: Range predicates, as accepted by :func:`repro.query.optimizer.optimize`.
+Predicates = Dict[str, Tuple[float, float]]
+
+
+@dataclass
+class ExecutionResult:
+    """Ground-truth outcome of executing a join tree."""
+
+    rows: int
+    shipped_bytes: float
+    per_join_shipped: List[float]
+
+    @property
+    def shipped_mb(self) -> float:
+        """Shipped volume in megabytes."""
+        return self.shipped_bytes / (1024 * 1024)
+
+
+def execute_plan(
+    root: PlanNode,
+    relations: Dict[str, Relation],
+    predicates: Optional[Predicates] = None,
+) -> ExecutionResult:
+    """Execute ``root`` over materialized relations, counting bytes.
+
+    ``predicates`` are applied at the leaves (selection pushdown), so a
+    filtered relation ships only its qualifying tuples.
+    """
+    domain = 0
+    for relation in relations.values():
+        domain = max(domain, int(relation.values.max(initial=0)))
+    shipped: List[float] = []
+
+    def walk(node: PlanNode) -> Tuple[np.ndarray, float, int]:
+        """Returns (frequency vector, tuple width bytes, rows)."""
+        if isinstance(node, BaseRel):
+            try:
+                relation = relations[node.name]
+            except KeyError:
+                raise QueryError(f"relation {node.name!r} not materialized") from None
+            values = relation.values
+            if predicates and node.name in predicates:
+                from repro.query.optimizer import _split_predicate
+
+                attribute, lo, hi = _split_predicate(
+                    node.name, predicates[node.name]
+                )
+                if attribute == "a":
+                    values = values[(values >= lo) & (values < hi)]
+                else:
+                    if relation.filter_values is None:
+                        raise QueryError(
+                            f"relation {node.name!r} has no filter attribute"
+                        )
+                    mask = (relation.filter_values >= lo) & (
+                        relation.filter_values < hi
+                    )
+                    values = values[mask]
+            freq = np.bincount(values, minlength=domain + 1).astype(np.float64)
+            return freq, relation.tuple_bytes, int(values.shape[0])
+        left_freq, left_width, left_rows = walk(node.left)
+        right_freq, right_width, right_rows = walk(node.right)
+        shipped.append(left_rows * left_width + right_rows * right_width)
+        freq = left_freq * right_freq
+        return freq, left_width + right_width, int(freq.sum())
+
+    freq, _, rows = walk(root)
+    if isinstance(root, BaseRel):
+        # A single-relation "plan" ships nothing.
+        return ExecutionResult(rows=rows, shipped_bytes=0.0, per_join_shipped=[])
+    return ExecutionResult(
+        rows=rows, shipped_bytes=float(sum(shipped)), per_join_shipped=shipped
+    )

@@ -1,0 +1,5 @@
+"""Simulation kit: deterministic seeds, cost metrics, experiment runners."""
+
+from repro.sim.seeds import derive_seed, rng_for, spawn_seeds
+
+__all__ = ["derive_seed", "rng_for", "spawn_seeds"]

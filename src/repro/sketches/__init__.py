@@ -1,0 +1,57 @@
+"""Hash-sketch substrate: PCSA, LogLog, super-LogLog, HyperLogLog, linear counting."""
+
+from repro.sketches.base import HashSketch, required_key_bits, split_key
+from repro.sketches.constants import (
+    PCSA_PHI,
+    SLL_THETA0,
+    hll_alpha,
+    loglog_alpha,
+    pcsa_bias_factor,
+    sll_alpha_tilde,
+    sll_truncated_count,
+)
+from repro.sketches.hyperloglog import HyperLogLogSketch
+from repro.sketches.linear_counting import LinearCounter, linear_counting_estimate
+from repro.sketches.loglog import LogLogSketch, SuperLogLogSketch
+from repro.sketches.merge import estimate_union, union_all
+from repro.sketches.pcsa import PCSASketch
+from repro.sketches.setops import (
+    estimate_difference,
+    estimate_intersection,
+    intersection_error_bound,
+    jaccard_estimate,
+)
+
+#: Registry of the sketch estimators usable inside DHS, by short name.
+SKETCH_TYPES = {
+    PCSASketch.name: PCSASketch,
+    LogLogSketch.name: LogLogSketch,
+    SuperLogLogSketch.name: SuperLogLogSketch,
+    HyperLogLogSketch.name: HyperLogLogSketch,
+}
+
+__all__ = [
+    "HashSketch",
+    "required_key_bits",
+    "split_key",
+    "PCSA_PHI",
+    "SLL_THETA0",
+    "hll_alpha",
+    "loglog_alpha",
+    "pcsa_bias_factor",
+    "sll_alpha_tilde",
+    "sll_truncated_count",
+    "HyperLogLogSketch",
+    "LinearCounter",
+    "linear_counting_estimate",
+    "LogLogSketch",
+    "SuperLogLogSketch",
+    "estimate_union",
+    "union_all",
+    "PCSASketch",
+    "estimate_difference",
+    "estimate_intersection",
+    "intersection_error_bound",
+    "jaccard_estimate",
+    "SKETCH_TYPES",
+]

@@ -1,0 +1,23 @@
+"""Workload generators: Zipf values, relations Q/R/S/T, assignments, multisets."""
+
+from repro.workloads.assignment import assign_items, assign_uniform
+from repro.workloads.multisets import replicated_multiset, zipf_duplicated_multiset
+from repro.workloads.relations import (
+    PAPER_SIZES,
+    Relation,
+    make_relation,
+    standard_relations,
+)
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "assign_items",
+    "assign_uniform",
+    "replicated_multiset",
+    "zipf_duplicated_multiset",
+    "PAPER_SIZES",
+    "Relation",
+    "make_relation",
+    "standard_relations",
+    "ZipfGenerator",
+]

@@ -1,0 +1,59 @@
+"""Assigning workload items to overlay nodes.
+
+The paper assigns tuples to nodes uniformly at random (section 5.1);
+each node then acts as the *inserter* for its own items.  Having many
+independent inserters matters: every inserter picks its own random
+target key per interval, which is what spreads copies of each logical
+DHS bit across an interval's nodes and makes the counting probe
+succeed with few retries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.seeds import derive_seed
+
+__all__ = ["assign_uniform", "assign_items"]
+
+
+def assign_uniform(
+    n_items: int,
+    node_ids: Sequence[int],
+    seed: int = 0,
+) -> Dict[int, np.ndarray]:
+    """Uniformly map item indices ``[0, n_items)`` onto nodes.
+
+    Returns ``{node_id: array of item indices}`` covering every index
+    exactly once.
+    """
+    if n_items < 0:
+        raise ConfigurationError(f"n_items must be >= 0, got {n_items}")
+    if not node_ids:
+        raise ConfigurationError("need at least one node")
+    rng = np.random.default_rng(derive_seed(seed, "assignment") % (2**32))
+    choices = rng.integers(0, len(node_ids), size=n_items)
+    order = np.argsort(choices, kind="stable")
+    sorted_choices = choices[order]
+    boundaries = np.searchsorted(sorted_choices, np.arange(len(node_ids) + 1))
+    assignment: Dict[int, np.ndarray] = {}
+    for i, node_id in enumerate(node_ids):
+        chunk = order[boundaries[i] : boundaries[i + 1]]
+        if chunk.size:
+            assignment[node_id] = chunk
+    return assignment
+
+
+def assign_items(
+    items: Sequence,
+    node_ids: Sequence[int],
+    seed: int = 0,
+) -> Dict[int, List]:
+    """Uniformly map concrete items onto nodes (small workloads)."""
+    index_map = assign_uniform(len(items), node_ids, seed=seed)
+    return {
+        node_id: [items[i] for i in indices] for node_id, indices in index_map.items()
+    }

@@ -1,0 +1,100 @@
+"""Hypothesis property tests on DHS counting invariants.
+
+The key soundness properties of the distributed reconstruction:
+
+* with an exhaustive probe budget, the distributed sketch equals the
+  local sketch exactly (no information loss);
+* with any finite budget, the distributed registers are a *lower set*
+  of the local ones — probe misses can only lose bits, never invent
+  them (which is why both estimators' failure mode is underestimation);
+* recorded state is monotone in the item set.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.overlay.chord import ChordRing
+
+items_strategy = st.lists(
+    st.integers(min_value=0, max_value=10**9), min_size=1, max_size=120, unique=True
+)
+
+
+def build_dhs(n_nodes=24, m=4, lim=30, estimator="sll", ring_seed=5):
+    ring = ChordRing.build(n_nodes, bits=32, seed=ring_seed)
+    config = DHSConfig(key_bits=16, num_bitmaps=m, lim=lim, estimator=estimator)
+    return DistributedHashSketch(ring, config, seed=2)
+
+
+def populate(dhs, items):
+    node_ids = list(dhs.dht.node_ids())
+    for i, item in enumerate(items):
+        dhs.insert("m", item, origin=node_ids[i % len(node_ids)])
+
+
+@given(items_strategy)
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_probing_is_lossless_sll(items):
+    dhs = build_dhs(estimator="sll")
+    populate(dhs, items)
+    local = dhs.local_sketch(items)
+    result = dhs.count("m")
+    assert result.sketches["m"].registers() == local.registers()
+
+
+@given(items_strategy)
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_probing_is_lossless_pcsa(items):
+    dhs = build_dhs(estimator="pcsa")
+    populate(dhs, items)
+    local = dhs.local_sketch(items)
+    result = dhs.count("m")
+    assert result.sketches["m"].observables() == local.observables()
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_finite_budget_only_loses_bits_sll(items, lim):
+    dhs = build_dhs(estimator="sll", lim=lim)
+    populate(dhs, items)
+    local = dhs.local_sketch(items)
+    observed = dhs.count("m").sketches["m"]
+    for got, truth in zip(observed.registers(), local.registers()):
+        assert got <= truth
+
+
+@given(items_strategy, st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_finite_budget_only_loses_bits_pcsa(items, lim):
+    dhs = build_dhs(estimator="pcsa", lim=lim)
+    populate(dhs, items)
+    local = dhs.local_sketch(items)
+    observed = dhs.count("m").sketches["m"]
+    for got, truth in zip(observed.observables(), local.observables()):
+        assert got <= truth
+
+
+@given(items_strategy, items_strategy)
+@settings(max_examples=20, deadline=None)
+def test_state_monotone_in_items(base_items, extra_items):
+    small = build_dhs(estimator="sll")
+    populate(small, base_items)
+    large = build_dhs(estimator="sll")
+    populate(large, base_items + [i + 2**40 for i in extra_items])
+    small_regs = small.count("m").sketches["m"].registers()
+    large_regs = large.count("m").sketches["m"].registers()
+    for a, b in zip(small_regs, large_regs):
+        assert b >= a
+
+
+@given(items_strategy)
+@settings(max_examples=20, deadline=None)
+def test_count_is_idempotent(items):
+    """Counting is read-only: repeated counts see identical state."""
+    dhs = build_dhs(estimator="sll")
+    populate(dhs, items)
+    first = dhs.count("m", origin=dhs.dht.node_ids()[0])
+    second = dhs.count("m", origin=dhs.dht.node_ids()[0])
+    assert first.sketches["m"].registers() == second.sketches["m"].registers()

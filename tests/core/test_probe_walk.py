@@ -1,0 +1,102 @@
+"""Surgical tests of Algorithm 1's per-interval probe walk.
+
+Built on a hand-placed ring so the expected probe order is computable by
+eye: lookup target first, successors up to (and one past) the interval's
+top edge, then predecessors from the start point, bounded by ``lim`` and
+by the interval being exhausted.
+"""
+
+import pytest
+
+from repro.core.config import DHSConfig
+from repro.core.count import Counter
+from repro.core.dhs import DistributedHashSketch
+from repro.core.mapping import BitIntervalMap
+from repro.overlay.chord import ChordRing
+
+# 16-bit space. Interval of position 0 (with key_bits=8, m=1) is
+# [2^15, 2^16) = [32768, 65536).
+IN_INTERVAL = [33000, 40000, 50000, 60000]
+BELOW = [100, 20000]
+ABOVE_WRAP = []  # the ring wraps: the "overflow owner" is min(all ids)
+
+
+def make_counter(lim=5, seed=1):
+    ring = ChordRing.from_ids(sorted(IN_INTERVAL + BELOW), bits=16)
+    config = DHSConfig(key_bits=8, num_bitmaps=1, lim=lim)
+    dhs = DistributedHashSketch(ring, config, seed=seed)
+    return ring, dhs
+
+
+def probed_sequence(dhs, ring, lim, position=0):
+    """Run one interval probe and return the probed node sequence."""
+    counter: Counter = dhs._counter
+    from repro.core.count import CountResult
+    from repro.overlay.stats import OpCost
+
+    result = CountResult(estimates={}, sketches={}, cost=OpCost())
+    needed = {"m": {0}}
+    counter._probe_interval(
+        counter.mapping.interval_index(position),
+        position,
+        needed,
+        origin=ring.node_ids()[0],
+        now=0,
+        result=result,
+    )
+    return result.probed_nodes
+
+
+class TestWalkOrder:
+    def test_walk_covers_interval_nodes_in_neighbour_order(self):
+        ring, dhs = make_counter(lim=10)
+        probed = probed_sequence(dhs, ring, lim=10)
+        # Nothing is stored, so the walk runs to exhaustion: it must have
+        # probed every in-interval node exactly once plus the wrap-around
+        # overflow owner (the smallest id).
+        assert sorted(set(probed)) == sorted(IN_INTERVAL + [min(BELOW)])
+        assert len(probed) == len(set(probed))
+
+    def test_successor_steps_are_adjacent(self):
+        ring, dhs = make_counter(lim=10)
+        probed = probed_sequence(dhs, ring, lim=10)
+        # From the first target, consecutive successor probes must be
+        # ring-adjacent until the direction flips (one flip max).
+        flips = 0
+        for a, b in zip(probed, probed[1:]):
+            if ring.successor_id(a) != b:
+                flips += 1
+        assert flips <= 2  # succ-run -> overflow hop -> pred-run
+
+    def test_budget_caps_probes(self):
+        ring, dhs = make_counter(lim=2)
+        probed = probed_sequence(dhs, ring, lim=2)
+        assert len(probed) == 2
+
+    def test_early_exit_on_found_bit(self):
+        ring, dhs = make_counter(lim=10)
+        # Plant the bit on EVERY candidate node: the first probe hits.
+        from repro.core.tuples import write_entry
+
+        for node_id in IN_INTERVAL + BELOW:
+            write_entry(ring.node(node_id), "m", 0, 0, None)
+        probed = probed_sequence(dhs, ring, lim=10)
+        assert len(probed) == 1
+
+
+class TestOverflowOwner:
+    def test_wrapped_overflow_owner_holds_interval_tuples(self):
+        """Keys above the last in-interval node wrap to the ring's first
+        node; the walk must check it."""
+        ring, dhs = make_counter(lim=10)
+        # A key just below 2^16 is owned by... successor wraps to min id.
+        assert ring.owner_of(65000) == min(BELOW)
+        probed = probed_sequence(dhs, ring, lim=10)
+        assert min(BELOW) in probed
+
+    def test_no_second_overflow_node(self):
+        ring, dhs = make_counter(lim=10)
+        probed = probed_sequence(dhs, ring, lim=10)
+        # 20000 is outside the interval and NOT the overflow owner:
+        # it must never be probed.
+        assert 20000 not in probed

@@ -1,0 +1,66 @@
+"""Shape tests for the ablation drivers (tiny configurations)."""
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_bitshift_ablation,
+    run_lim_ablation,
+    run_overlay_comparison,
+    run_replication_ablation,
+)
+
+
+class TestLimAblation:
+    def test_budget_buys_accuracy(self):
+        rows = run_lim_ablation(
+            lims=(1, 8),
+            n_nodes=64,
+            n_items=10_000,
+            num_bitmaps=64,
+            trials=2,
+            seed=4,
+        )
+        by = {row.label: row for row in rows}
+        assert by["lim=1"].error_pct >= by["lim=8"].error_pct
+        assert "lim=1" in format_ablation("t", "x", rows)
+
+
+class TestReplicationAblation:
+    def test_rows_shape(self):
+        rows = run_replication_ablation(
+            degrees=(0, 3),
+            failure_fraction=0.2,
+            n_nodes=64,
+            n_items=5_000,
+            num_bitmaps=64,
+            trials=2,
+            seed=4,
+        )
+        by = {row.label: row for row in rows}
+        # Replicas cost extra insert hops and never hurt accuracy much.
+        assert by["R=3"].extra > by["R=0"].extra
+        assert by["R=3"].error_pct <= by["R=0"].error_pct + 10
+
+
+class TestBitShiftAblation:
+    def test_shift_saves_write_bytes(self):
+        rows = run_bitshift_ablation(
+            shifts=(0, 3),
+            n_nodes=64,
+            n_items=20_000,
+            num_bitmaps=16,
+            trials=2,
+            seed=4,
+        )
+        by = {row.label: row for row in rows}
+        assert by["b=3"].extra < by["b=0"].extra
+
+
+class TestOverlayComparison:
+    def test_both_overlays_reported(self):
+        rows = run_overlay_comparison(
+            n_nodes=64, n_items=20_000, num_bitmaps=64, trials=2, seed=4
+        )
+        labels = {row.label for row in rows}
+        assert labels == {"chord", "kademlia", "pastry"}
+        for row in rows:
+            assert row.hops > 0

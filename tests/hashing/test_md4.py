@@ -1,0 +1,98 @@
+"""MD4 correctness against the RFC 1320 appendix A.5 test vectors."""
+
+import pytest
+
+from repro.hashing.md4 import MD4, md4_digest, md4_hexdigest, md4_int
+
+RFC1320_VECTORS = [
+    (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+    (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+    (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+    (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+    (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "043f8582f241db351ce627e153e7f0e4",
+    ),
+    (
+        b"1234567890" * 8,
+        "e33b4ddc9c38f2199c3e7b164fcc0536",
+    ),
+]
+
+
+class TestRFC1320Vectors:
+    @pytest.mark.parametrize("message,expected", RFC1320_VECTORS)
+    def test_one_shot(self, message, expected):
+        assert md4_hexdigest(message) == expected
+
+    @pytest.mark.parametrize("message,expected", RFC1320_VECTORS)
+    def test_byte_at_a_time(self, message, expected):
+        h = MD4()
+        for i in range(len(message)):
+            h.update(message[i : i + 1])
+        assert h.hexdigest() == expected
+
+    @pytest.mark.parametrize("message,expected", RFC1320_VECTORS)
+    def test_chunked_updates(self, message, expected):
+        h = MD4()
+        mid = len(message) // 2
+        h.update(message[:mid])
+        h.update(message[mid:])
+        assert h.hexdigest() == expected
+
+
+class TestIncrementalBehaviour:
+    def test_digest_is_idempotent(self):
+        h = MD4(b"hello")
+        first = h.digest()
+        second = h.digest()
+        assert first == second
+
+    def test_update_after_digest_continues_stream(self):
+        h = MD4(b"hello ")
+        h.digest()
+        h.update(b"world")
+        assert h.hexdigest() == md4_hexdigest(b"hello world")
+
+    def test_copy_is_independent(self):
+        h = MD4(b"prefix")
+        clone = h.copy()
+        clone.update(b"-suffix")
+        assert h.hexdigest() == md4_hexdigest(b"prefix")
+        assert clone.hexdigest() == md4_hexdigest(b"prefix-suffix")
+
+    def test_boundary_lengths(self):
+        # Padding edge cases: 55, 56, 63, 64, 65 bytes.
+        for n in (55, 56, 63, 64, 65, 119, 120, 128):
+            data = bytes(range(256))[:n] * 1
+            ref = MD4(data).hexdigest()
+            h = MD4()
+            h.update(data[:7])
+            h.update(data[7:])
+            assert h.hexdigest() == ref
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            MD4("not bytes")  # type: ignore[arg-type]
+
+
+class TestMd4Int:
+    def test_width_masking(self):
+        full = md4_int(b"abc", bits=128)
+        assert md4_int(b"abc", bits=64) == full & (2**64 - 1)
+        assert md4_int(b"abc", bits=24) == full & (2**24 - 1)
+
+    def test_matches_digest_little_endian(self):
+        value = md4_int(b"abc", bits=128)
+        assert value == int.from_bytes(md4_digest(b"abc"), "little")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            md4_int(b"x", bits=0)
+        with pytest.raises(ValueError):
+            md4_int(b"x", bits=129)
+
+    def test_distinct_inputs_differ(self):
+        seen = {md4_int(str(i).encode(), bits=64) for i in range(1000)}
+        assert len(seen) == 1000

@@ -1,0 +1,183 @@
+"""Tests for the advanced histogram constructions (footnote 5)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.errors import HistogramError
+from repro.histograms.advanced import (
+    aggregate_micro,
+    compressed_boundaries,
+    derive_histogram,
+    maxdiff_boundaries,
+    v_optimal_boundaries,
+)
+from repro.histograms.buckets import BucketSpec
+from repro.histograms.histogram import Histogram
+
+
+def micro_hist(counts, amin=1):
+    spec = BucketSpec.equi_width(amin, amin + len(counts) - 1, len(counts))
+    return Histogram.from_counts(spec, [float(c) for c in counts])
+
+
+def sse_of_partition(counts, cuts):
+    """Brute-force SSE of a partition given cut positions."""
+    edges = [0] + sorted(cuts) + [len(counts)]
+    total = 0.0
+    for a, b in zip(edges, edges[1:]):
+        chunk = np.asarray(counts[a:b], dtype=float)
+        total += float(((chunk - chunk.mean()) ** 2).sum())
+    return total
+
+
+class TestVOptimal:
+    def test_matches_brute_force(self):
+        counts = [5, 5, 50, 52, 5, 6, 90, 4]
+        micro = micro_hist(counts)
+        n_buckets = 3
+        spec = v_optimal_boundaries(micro, n_buckets)
+        got_cuts = [micro.spec.boundaries.index(b) for b in spec.boundaries[1:-1]]
+        best = min(
+            sse_of_partition(counts, cuts)
+            for cuts in combinations(range(1, len(counts)), n_buckets - 1)
+        )
+        assert sse_of_partition(counts, got_cuts) == pytest.approx(best)
+
+    def test_isolates_spikes(self):
+        counts = [1, 1, 1, 100, 1, 1, 1, 1]
+        spec = v_optimal_boundaries(micro_hist(counts), 3)
+        # The spike micro-bucket [4, 5) must sit alone.
+        assert 4.0 in spec.boundaries
+        assert 5.0 in spec.boundaries
+
+    def test_single_bucket(self):
+        spec = v_optimal_boundaries(micro_hist([1, 2, 3]), 1)
+        assert spec.n_buckets == 1
+
+    def test_full_budget_is_identity(self):
+        micro = micro_hist([3, 1, 4, 1])
+        spec = v_optimal_boundaries(micro, 4)
+        assert spec.boundaries == micro.spec.boundaries
+
+    def test_budget_validation(self):
+        with pytest.raises(HistogramError):
+            v_optimal_boundaries(micro_hist([1, 2]), 3)
+        with pytest.raises(HistogramError):
+            v_optimal_boundaries(micro_hist([1, 2]), 0)
+
+
+class TestMaxDiff:
+    def test_cuts_at_largest_jumps(self):
+        counts = [10, 10, 10, 90, 90, 10, 10, 10]
+        spec = maxdiff_boundaries(micro_hist(counts), 3)
+        # Jumps at 3->90 and 90->10: cuts after micro 2 and micro 4.
+        assert 4.0 in spec.boundaries  # boundary of micro index 3
+        assert 6.0 in spec.boundaries  # boundary of micro index 5
+
+    def test_bucket_count(self):
+        spec = maxdiff_boundaries(micro_hist(range(10)), 4)
+        assert spec.n_buckets == 4
+
+
+class TestCompressed:
+    def test_heavy_buckets_become_singletons(self):
+        counts = [1, 1, 200, 1, 1, 1, 150, 1, 1, 1]
+        spec = compressed_boundaries(micro_hist(counts), 6, n_singletons=2)
+        # Both heavy micro-buckets [3,4) and [7,8) isolated.
+        for edge in (3.0, 4.0, 7.0, 8.0):
+            assert edge in spec.boundaries
+
+    def test_budget_respected(self):
+        counts = [1] * 20
+        spec = compressed_boundaries(micro_hist(counts), 5)
+        assert spec.n_buckets <= 5
+
+    def test_singleton_validation(self):
+        with pytest.raises(HistogramError):
+            compressed_boundaries(micro_hist([1] * 10), 3, n_singletons=3)
+
+
+class TestAggregate:
+    def test_counts_preserved(self):
+        micro = micro_hist([1, 2, 3, 4, 5, 6])
+        for kind in ("equi_width", "v_optimal", "maxdiff", "compressed"):
+            derived = derive_histogram(micro, kind, 3)
+            assert derived.total == pytest.approx(micro.total)
+
+    def test_aggregate_values(self):
+        micro = micro_hist([1, 2, 3, 4])
+        spec = BucketSpec.from_boundaries([1.0, 3.0, 5.0])
+        derived = aggregate_micro(micro, spec)
+        assert derived.counts == [3.0, 7.0]
+
+    def test_unknown_kind(self):
+        with pytest.raises(HistogramError):
+            derive_histogram(micro_hist([1, 2]), "wavelet", 1)
+
+
+class TestEstimationQuality:
+    def test_v_optimal_beats_equi_width_on_skew(self):
+        """The reason these exist: on skewed data, variance-aware buckets
+        estimate range selectivities better at equal budget."""
+        rng = np.random.default_rng(5)
+        from repro.workloads.zipf import ZipfGenerator
+
+        values = ZipfGenerator(400, theta=1.0).sample(100_000, seed=3)
+        micro_spec = BucketSpec.equi_width(1, 400, 100)
+        micro = Histogram.exact(micro_spec, values)
+        budget = 10
+        candidates = {
+            kind: derive_histogram(micro, kind, budget)
+            for kind in ("equi_width", "v_optimal", "maxdiff")
+        }
+
+        def mean_range_error(histogram):
+            """Narrow ranges: where within-bucket uniformity bites."""
+            errors = []
+            for _ in range(300):
+                lo = rng.integers(1, 385)
+                hi = lo + rng.integers(1, 16)
+                truth = float(((values >= lo) & (values < hi)).sum())
+                if truth < 50:
+                    continue
+                errors.append(abs(histogram.estimate_range(lo, hi) - truth) / truth)
+            return sum(errors) / len(errors)
+
+        assert mean_range_error(candidates["v_optimal"]) <= mean_range_error(
+            candidates["equi_width"]
+        )
+
+
+class TestEquiDepth:
+    def test_buckets_carry_similar_mass(self):
+        from repro.histograms.advanced import equi_depth_boundaries
+
+        counts = [100, 1, 1, 1, 1, 1, 1, 100, 1, 94]
+        micro = micro_hist(counts)
+        spec = equi_depth_boundaries(micro, 3)
+        derived = aggregate_micro(micro, spec)
+        assert derived.total == sum(counts)
+        # Each bucket within 2x of the ideal third of the mass.
+        ideal = sum(counts) / 3
+        for count in derived.counts:
+            assert count <= 2 * ideal
+
+    def test_uniform_data_gives_equal_widths(self):
+        from repro.histograms.advanced import equi_depth_boundaries
+
+        micro = micro_hist([10] * 12)
+        spec = equi_depth_boundaries(micro, 4)
+        widths = [spec.bucket_width(i) for i in range(spec.n_buckets)]
+        assert max(widths) <= 2 * min(widths)
+
+    def test_empty_micro_histogram(self):
+        from repro.histograms.advanced import equi_depth_boundaries
+
+        spec = equi_depth_boundaries(micro_hist([0, 0, 0, 0]), 2)
+        assert spec.n_buckets >= 1
+
+    def test_derive_kind(self):
+        derived = derive_histogram(micro_hist([5, 1, 1, 5]), "equi_depth", 2)
+        assert derived.total == 12.0

@@ -1,0 +1,246 @@
+"""Tests for the Chord ring simulator."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EmptyOverlayError, NodeNotFoundError
+from repro.overlay.chord import ChordRing
+from repro.sim.seeds import rng_for
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing.build(256, bits=32, seed=11)
+
+
+class TestConstruction:
+    def test_build_has_requested_size(self, ring):
+        assert ring.size == 256
+
+    def test_ids_sorted_and_unique(self, ring):
+        ids = list(ring.node_ids())
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_build_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            ChordRing.build(0)
+        with pytest.raises(ConfigurationError):
+            ChordRing.build(10, bits=3)
+
+    def test_from_ids(self):
+        ring = ChordRing.from_ids([5, 100, 200], bits=8)
+        assert list(ring.node_ids()) == [5, 100, 200]
+
+    def test_from_ids_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChordRing.from_ids([], bits=8)
+
+    def test_duplicate_id_rejected(self):
+        ring = ChordRing.from_ids([5], bits=8)
+        with pytest.raises(ValueError):
+            ring.add_node(5)
+
+    def test_deterministic_given_seed(self):
+        a = ChordRing.build(64, bits=32, seed=3)
+        b = ChordRing.build(64, bits=32, seed=3)
+        assert list(a.node_ids()) == list(b.node_ids())
+
+
+class TestOwnership:
+    def test_owner_is_successor(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        assert ring.owner_of(10) == 10
+        assert ring.owner_of(11) == 50
+        assert ring.owner_of(50) == 50
+        assert ring.owner_of(201) == 10  # wraps
+        assert ring.owner_of(0) == 10
+
+    def test_every_key_has_exactly_one_owner(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        owners = {ring.owner_of(k) for k in range(256)}
+        assert owners == {10, 50, 200}
+
+    def test_ownership_partition_sizes(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        counts = {10: 0, 50: 0, 200: 0}
+        for key in range(256):
+            counts[ring.owner_of(key)] += 1
+        # node n owns (pred(n), n]
+        assert counts[50] == 40
+        assert counts[200] == 150
+        assert counts[10] == 66
+
+    def test_empty_ring_raises(self):
+        ring = ChordRing.from_ids([1], bits=8)
+        ring.remove_node(1, graceful=False)
+        with pytest.raises(EmptyOverlayError):
+            ring.owner_of(5)
+
+
+class TestNeighbours:
+    def test_successor_predecessor_cycle(self, ring):
+        ids = list(ring.node_ids())
+        for i, node_id in enumerate(ids[:20]):
+            assert ring.successor_id(node_id) == ids[(i + 1) % len(ids)]
+            assert ring.predecessor_id(node_id) == ids[i - 1]
+
+    def test_single_node_is_own_neighbour(self):
+        ring = ChordRing.from_ids([42], bits=8)
+        assert ring.successor_id(42) == 42
+        assert ring.predecessor_id(42) == 42
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, ring):
+        rng = rng_for(5, "routing")
+        for _ in range(500):
+            key = rng.randrange(2**32)
+            origin = ring.random_live_node(rng)
+            result = ring.lookup(key, origin=origin)
+            assert result.node_id == ring.owner_of(key)
+
+    def test_lookup_from_owner_is_free(self, ring):
+        key = 12345
+        owner = ring.owner_of(key)
+        result = ring.lookup(key, origin=owner)
+        assert result.cost.hops == 0
+
+    def test_hop_count_logarithmic(self):
+        """Mean hops ~ 0.5*log2(N) + 1; generously bounded."""
+        for n in (64, 512):
+            ring = ChordRing.build(n, bits=64, seed=2)
+            rng = rng_for(9, "hops", n)
+            hops = []
+            for _ in range(400):
+                key = rng.randrange(2**64)
+                origin = ring.random_live_node(rng)
+                hops.append(ring.lookup(key, origin=origin).cost.hops)
+            mean = statistics.mean(hops)
+            assert 0.3 * math.log2(n) < mean < 1.2 * math.log2(n) + 1
+            assert max(hops) <= 2 * math.log2(n) + 4
+
+    def test_hops_grow_with_network_size(self):
+        def mean_hops(n):
+            ring = ChordRing.build(n, bits=64, seed=4)
+            rng = rng_for(10, "growth", n)
+            total = 0
+            for _ in range(300):
+                total += ring.lookup(
+                    rng.randrange(2**64), origin=ring.random_live_node(rng)
+                ).cost.hops
+            return total / 300
+
+        assert mean_hops(64) < mean_hops(1024)
+
+    def test_path_nodes_are_live(self, ring):
+        rng = rng_for(6, "path")
+        result = ring.lookup(rng.randrange(2**32), origin=ring.random_live_node(rng))
+        for node_id in result.cost.nodes_visited:
+            assert ring.has_node(node_id)
+
+    def test_two_node_ring(self):
+        ring = ChordRing.from_ids([10, 200], bits=8)
+        assert ring.lookup(100, origin=10).node_id == 200
+        assert ring.lookup(100, origin=200).node_id == 200
+
+    def test_finger_definition(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(0, 5) == 64  # successor(0 + 32) = 64
+        assert ring.finger(0, 6) == 64  # successor(64) = 64
+        assert ring.finger(0, 7) == 128
+        assert ring.finger(192, 6) == 0  # wraps: successor(256 mod 256)
+
+
+class TestChurn:
+    def test_graceful_leave_hands_data_to_successor(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        ring.node(50).store[("x",)] = 7
+        ring.remove_node(50, graceful=True)
+        assert ring.node(200).store[("x",)] == 7
+
+    def test_graceful_leave_merges_with_max(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        ring.node(50).store[("x",)] = 7
+        ring.node(200).store[("x",)] = 9
+        ring.remove_node(50, graceful=True)
+        assert ring.node(200).store[("x",)] == 9
+
+    def test_crash_loses_data(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        ring.node(50).store[("x",)] = 7
+        ring.fail_node(50)
+        assert ("x",) not in ring.node(200).store
+
+    def test_ownership_transfers_after_removal(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        assert ring.owner_of(30) == 50
+        ring.remove_node(50)
+        assert ring.owner_of(30) == 200
+
+    def test_join_takes_over_keys(self):
+        ring = ChordRing.from_ids([10, 200], bits=8)
+        assert ring.owner_of(60) == 200
+        ring.add_node(100)
+        assert ring.owner_of(60) == 100
+
+    def test_routing_still_correct_after_churn(self):
+        ring = ChordRing.build(128, bits=32, seed=8)
+        rng = rng_for(3, "churn")
+        for victim in rng.sample(list(ring.node_ids()), 50):
+            ring.fail_node(victim)
+        for _ in range(200):
+            key = rng.randrange(2**32)
+            origin = ring.random_live_node(rng)
+            assert ring.lookup(key, origin=origin).node_id == ring.owner_of(key)
+
+    def test_remove_unknown_node_raises(self, ring):
+        with pytest.raises(NodeNotFoundError):
+            ring.remove_node(2**33)
+
+
+class TestStoreProbe:
+    def test_store_reaches_owner(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        node_id, cost = ring.store(30, lambda node: node.store.update({"k": 1}), origin=10)
+        assert node_id == 50
+        assert ring.node(50).store["k"] == 1
+        assert cost.hops >= 1
+
+    def test_store_bytes_scale_with_hops(self):
+        ring = ChordRing.build(256, bits=32, seed=12)
+        rng = rng_for(1, "store")
+        _, cost = ring.store(
+            rng.randrange(2**32),
+            lambda node: None,
+            origin=ring.random_live_node(rng),
+            payload_bytes=8,
+        )
+        assert cost.bytes == cost.hops * 8
+
+    def test_probe_reads_without_routing(self):
+        ring = ChordRing.from_ids([10, 50], bits=8)
+        ring.node(50).store["v"] = 99
+        assert ring.probe(50, lambda node: node.store.get("v")) == 99
+
+    def test_load_tracker_records_accesses(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        ring.load.reset()
+        ring.store(30, lambda node: None, origin=10)
+        assert ring.load.total > 0
+        assert ring.load.count(50) >= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ids=st.sets(st.integers(min_value=0, max_value=2**16 - 1), min_size=2, max_size=40),
+    key=st.integers(min_value=0, max_value=2**16 - 1),
+)
+def test_property_routing_always_reaches_owner(ids, key):
+    ring = ChordRing.from_ids(sorted(ids), bits=16)
+    for origin in list(ids)[:5]:
+        assert ring.lookup(key, origin=origin).node_id == ring.owner_of(key)

@@ -1,0 +1,90 @@
+"""Tests for circular id-space arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.overlay.idspace import IdSpace
+
+SPACE = IdSpace(8)  # small space: every case is enumerable
+U8 = st.integers(min_value=0, max_value=255)
+
+
+class TestBasics:
+    def test_size(self):
+        assert IdSpace(8).size == 256
+        assert IdSpace(64).size == 2**64
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+        with pytest.raises(ValueError):
+            IdSpace(300)
+
+    def test_contains(self):
+        assert SPACE.contains(0)
+        assert SPACE.contains(255)
+        assert not SPACE.contains(256)
+        assert not SPACE.contains(-1)
+
+    def test_wrap(self):
+        assert SPACE.wrap(256) == 0
+        assert SPACE.wrap(257) == 1
+        assert SPACE.wrap(255) == 255
+
+    def test_distance_clockwise(self):
+        assert SPACE.distance(10, 20) == 10
+        assert SPACE.distance(20, 10) == 246
+        assert SPACE.distance(5, 5) == 0
+
+    def test_xor_distance(self):
+        assert SPACE.xor_distance(0b1010, 0b0110) == 0b1100
+
+
+class TestIntervals:
+    def test_open_interval_simple(self):
+        assert SPACE.in_open(15, 10, 20)
+        assert not SPACE.in_open(10, 10, 20)
+        assert not SPACE.in_open(20, 10, 20)
+
+    def test_open_interval_wrapping(self):
+        assert SPACE.in_open(250, 240, 5)
+        assert SPACE.in_open(2, 240, 5)
+        assert not SPACE.in_open(100, 240, 5)
+
+    def test_open_degenerate_is_whole_ring_minus_a(self):
+        assert SPACE.in_open(5, 10, 10)
+        assert not SPACE.in_open(10, 10, 10)
+
+    def test_half_open_includes_right(self):
+        assert SPACE.in_half_open(20, 10, 20)
+        assert not SPACE.in_half_open(10, 10, 20)
+
+    def test_half_open_wrapping(self):
+        assert SPACE.in_half_open(5, 240, 5)
+        assert not SPACE.in_half_open(240, 240, 5)
+
+    def test_half_open_degenerate_is_whole_ring(self):
+        assert SPACE.in_half_open(123, 10, 10)
+        assert SPACE.in_half_open(10, 10, 10)
+
+    @given(U8, U8, U8)
+    def test_open_matches_enumeration(self, x, a, b):
+        walk = set()
+        cursor = SPACE.wrap(a + 1)
+        while cursor != b:
+            if cursor == a and a == b:
+                break
+            walk.add(cursor)
+            if len(walk) > 256:
+                break
+            cursor = SPACE.wrap(cursor + 1)
+        expected = x in walk if a != b else x != a
+        assert SPACE.in_open(x, a, b) == expected
+
+    @given(U8, U8, U8)
+    def test_half_open_is_open_plus_endpoint(self, x, a, b):
+        if a == b:
+            assert SPACE.in_half_open(x, a, b)
+        else:
+            assert SPACE.in_half_open(x, a, b) == (SPACE.in_open(x, a, b) or x == b)

@@ -1,0 +1,117 @@
+"""Tests for the Kademlia overlay."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.overlay.kademlia import KademliaOverlay
+from repro.sim.seeds import rng_for
+
+
+@pytest.fixture(scope="module")
+def overlay():
+    return KademliaOverlay.build(256, bits=32, seed=21)
+
+
+def brute_force_owner(ids, key):
+    return min(ids, key=lambda n: n ^ key)
+
+
+class TestOwnership:
+    def test_owner_matches_brute_force_small(self):
+        ids = [0b0001, 0b0110, 0b1010, 0b1111]
+        overlay = KademliaOverlay.from_ids(ids, bits=4)
+        for key in range(16):
+            assert overlay.owner_of(key) == brute_force_owner(ids, key)
+
+    def test_owner_matches_brute_force_random(self, overlay):
+        ids = list(overlay.node_ids())
+        rng = rng_for(2, "kad-owner")
+        for _ in range(300):
+            key = rng.randrange(2**32)
+            assert overlay.owner_of(key) == brute_force_owner(ids, key)
+
+    def test_own_id_is_self_owned(self, overlay):
+        for node_id in list(overlay.node_ids())[:20]:
+            assert overlay.owner_of(node_id) == node_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ids=st.sets(st.integers(min_value=0, max_value=2**12 - 1), min_size=1, max_size=30),
+        key=st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_property_owner_is_xor_min(self, ids, key):
+        overlay = KademliaOverlay.from_ids(sorted(ids), bits=12)
+        assert overlay.owner_of(key) == brute_force_owner(ids, key)
+
+
+class TestBuckets:
+    def test_contact_is_in_bucket(self, overlay):
+        node_id = list(overlay.node_ids())[0]
+        for i in range(32):
+            contact = overlay.bucket_contact(node_id, i)
+            if contact is not None:
+                assert (node_id ^ contact).bit_length() - 1 == i
+
+    def test_contact_cached(self, overlay):
+        node_id = list(overlay.node_ids())[3]
+        assert overlay.bucket_contact(node_id, 30) == overlay.bucket_contact(node_id, 30)
+
+    def test_cache_invalidated_on_churn(self):
+        overlay = KademliaOverlay.build(64, bits=32, seed=5)
+        node_id = list(overlay.node_ids())[0]
+        overlay.bucket_contact(node_id, 31)
+        overlay.add_node(123456)
+        assert not overlay._contact_cache
+
+
+class TestRouting:
+    def test_lookup_reaches_owner(self, overlay):
+        rng = rng_for(7, "kad-route")
+        for _ in range(400):
+            key = rng.randrange(2**32)
+            origin = overlay.random_live_node(rng)
+            assert overlay.lookup(key, origin=origin).node_id == overlay.owner_of(key)
+
+    def test_hops_logarithmic(self):
+        overlay = KademliaOverlay.build(1024, bits=64, seed=9)
+        rng = rng_for(8, "kad-hops")
+        hops = [
+            overlay.lookup(rng.randrange(2**64), origin=overlay.random_live_node(rng)).cost.hops
+            for _ in range(400)
+        ]
+        assert statistics.mean(hops) < 10  # log2(1024) = 10
+        assert max(hops) <= 20
+
+    def test_xor_distance_monotone_along_path(self, overlay):
+        rng = rng_for(3, "kad-mono")
+        key = rng.randrange(2**32)
+        result = overlay.lookup(key, origin=overlay.random_live_node(rng))
+        distances = [node ^ key for node in result.cost.nodes_visited]
+        assert all(a > b for a, b in zip(distances, distances[1:]))
+
+    def test_routing_after_failures(self):
+        overlay = KademliaOverlay.build(128, bits=32, seed=14)
+        rng = rng_for(4, "kad-fail")
+        for victim in rng.sample(list(overlay.node_ids()), 40):
+            overlay.fail_node(victim)
+        for _ in range(150):
+            key = rng.randrange(2**32)
+            origin = overlay.random_live_node(rng)
+            assert overlay.lookup(key, origin=origin).node_id == overlay.owner_of(key)
+
+
+class TestConstruction:
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            KademliaOverlay.build(0)
+        with pytest.raises(ConfigurationError):
+            KademliaOverlay.from_ids([], bits=8)
+
+    def test_deterministic(self):
+        a = KademliaOverlay.build(32, bits=32, seed=6)
+        b = KademliaOverlay.build(32, bits=32, seed=6)
+        assert list(a.node_ids()) == list(b.node_ids())

@@ -1,0 +1,113 @@
+"""Tests for the lazy-failure (undetected crash) model."""
+
+import pytest
+
+from repro.errors import EmptyOverlayError
+from repro.overlay.chord import ChordRing
+from repro.overlay.failures import fail_fraction
+from repro.overlay.kademlia import KademliaOverlay
+from repro.overlay.pastry import PastryOverlay
+from repro.sim.seeds import rng_for
+
+OVERLAYS = [
+    lambda: ChordRing.build(128, bits=32, seed=6),
+    lambda: KademliaOverlay.build(128, bits=32, seed=6),
+    lambda: PastryOverlay.build(128, bits=32, seed=6),
+]
+
+
+@pytest.fixture(params=OVERLAYS, ids=["chord", "kademlia", "pastry"])
+def overlay(request):
+    return request.param()
+
+
+class TestMarkFailed:
+    def test_marked_node_stays_in_routing_state(self, overlay):
+        victim = list(overlay.node_ids())[3]
+        overlay.mark_failed(victim)
+        assert victim in overlay.node_ids()
+        assert not overlay.is_alive(victim)
+
+    def test_repair_evicts(self, overlay):
+        victim = list(overlay.node_ids())[3]
+        overlay.mark_failed(victim)
+        overlay.repair(victim)
+        assert victim not in overlay.node_ids()
+
+    def test_repair_is_idempotent(self, overlay):
+        victim = list(overlay.node_ids())[3]
+        overlay.mark_failed(victim)
+        overlay.repair(victim)
+        overlay.repair(victim)  # second call is a no-op
+        assert not overlay.is_alive(victim)
+
+
+class TestRoutingAroundLazyFailures:
+    def test_lookup_still_reaches_a_live_owner(self, overlay):
+        rng = rng_for(2, "lazy")
+        fail_fraction(overlay, 0.3, seed=7, lazy=True)
+        for _ in range(200):
+            key = rng.randrange(2**32)
+            origin = overlay.random_live_node(rng)
+            result = overlay.lookup(key, origin=origin)
+            assert overlay.is_alive(result.node_id)
+
+    def test_discovery_costs_extra_hops(self):
+        """Routing through a lazily-failed ring pays timeout hops, at
+        least until the dead contacts have been discovered."""
+
+        def total_hops(lazy_failures: bool):
+            overlay = ChordRing.build(256, bits=32, seed=9)
+            rng = rng_for(3, "hops", lazy_failures)
+            if lazy_failures:
+                fail_fraction(overlay, 0.3, seed=7, lazy=True)
+            else:
+                fail_fraction(overlay, 0.3, seed=7, lazy=False)
+            return sum(
+                overlay.lookup(
+                    rng.randrange(2**32), origin=overlay.random_live_node(rng)
+                ).cost.hops
+                for _ in range(150)
+            )
+
+        assert total_hops(lazy_failures=True) > total_hops(lazy_failures=False)
+
+    def test_repairs_accumulate(self, overlay):
+        rng = rng_for(4, "repairs")
+        victims = fail_fraction(overlay, 0.3, seed=8, lazy=True)
+        before = len(overlay.node_ids())
+        for _ in range(300):
+            overlay.lookup(rng.randrange(2**32), origin=overlay.random_live_node(rng))
+        evicted = before - len(overlay.node_ids())
+        assert evicted > len(victims) // 3  # traffic heals the ring
+
+    def test_random_live_node_skips_failed(self, overlay):
+        rng = rng_for(5, "skip")
+        fail_fraction(overlay, 0.5, seed=9, lazy=True)
+        for _ in range(50):
+            assert overlay.is_alive(overlay.random_live_node(rng))
+
+    def test_all_failed_raises(self):
+        overlay = ChordRing.from_ids([1, 2, 3], bits=8)
+        for node_id in (1, 2, 3):
+            overlay.mark_failed(node_id)
+        with pytest.raises(EmptyOverlayError):
+            overlay.random_live_node(rng_for(1, "x"))
+
+
+class TestCountingThroughLazyFailures:
+    def test_count_survives_lazy_crashes(self):
+        from repro.core.config import DHSConfig
+        from repro.core.dhs import DistributedHashSketch
+
+        ring = ChordRing.build(128, bits=32, seed=10)
+        dhs = DistributedHashSketch(
+            ring, DHSConfig(key_bits=16, num_bitmaps=8, lim=40, replication=3), seed=4
+        )
+        node_ids = list(ring.node_ids())
+        for i in range(4000):
+            dhs.insert("docs", i, origin=node_ids[i % len(node_ids)])
+        fail_fraction(ring, 0.2, seed=11, lazy=True)
+        result = dhs.count("docs")
+        # Replicated bits survive; probes of dead nodes were skipped.
+        assert result.estimate() == pytest.approx(4000, rel=0.6)

@@ -1,0 +1,114 @@
+"""Tests for set-expression estimates (union/intersection/difference)."""
+
+import pytest
+
+from repro.errors import IncompatibleSketchError
+from repro.hashing.family import MixerHash
+from repro.sketches import PCSASketch, SuperLogLogSketch
+from repro.sketches.setops import (
+    estimate_difference,
+    estimate_intersection,
+    intersection_error_bound,
+    jaccard_estimate,
+)
+
+
+def make_pair(cls=SuperLogLogSketch, m=1024, seed=2, a_range=(0, 30_000), b_range=(20_000, 50_000)):
+    a = cls(m=m, hash_family=MixerHash(seed=seed))
+    b = cls(m=m, hash_family=MixerHash(seed=seed))
+    a.add_all(range(*a_range))
+    b.add_all(range(*b_range))
+    return a, b
+
+
+class TestIntersection:
+    def test_overlapping_sets(self):
+        a, b = make_pair()
+        truth = 10_000  # [20k, 30k)
+        estimate = estimate_intersection(a, b)
+        assert estimate == pytest.approx(truth, rel=0.5)
+
+    def test_disjoint_sets_near_zero(self):
+        a, b = make_pair(a_range=(0, 20_000), b_range=(50_000, 70_000))
+        estimate = estimate_intersection(a, b)
+        assert estimate < 5_000  # within noise of zero
+
+    def test_identical_sets(self):
+        a, b = make_pair(a_range=(0, 25_000), b_range=(0, 25_000))
+        assert estimate_intersection(a, b) == pytest.approx(25_000, rel=0.2)
+
+    def test_clamped_nonnegative(self):
+        a, b = make_pair(m=16, a_range=(0, 100), b_range=(1_000, 1_100))
+        assert estimate_intersection(a, b) >= 0.0
+
+    def test_incompatible_rejected(self):
+        a = SuperLogLogSketch(m=16)
+        b = SuperLogLogSketch(m=32)
+        with pytest.raises(IncompatibleSketchError):
+            estimate_intersection(a, b)
+
+    def test_works_for_pcsa_too(self):
+        a, b = make_pair(cls=PCSASketch)
+        assert estimate_intersection(a, b) == pytest.approx(10_000, rel=0.6)
+
+
+class TestDifference:
+    def test_proper_subset(self):
+        a, b = make_pair(a_range=(0, 30_000), b_range=(0, 10_000))
+        # A \ B should be ~20k; B \ A ~0.
+        assert estimate_difference(a, b) == pytest.approx(20_000, rel=0.5)
+        assert estimate_difference(b, a) < 6_000
+
+
+class TestJaccard:
+    def test_range(self):
+        a, b = make_pair()
+        assert 0.0 <= jaccard_estimate(a, b) <= 1.0
+
+    def test_identical_sets_near_one(self):
+        a, b = make_pair(a_range=(0, 25_000), b_range=(0, 25_000))
+        assert jaccard_estimate(a, b) > 0.8
+
+    def test_empty_sketches(self):
+        a = SuperLogLogSketch(m=16)
+        b = SuperLogLogSketch(m=16)
+        assert jaccard_estimate(a, b) == 0.0
+
+    def test_ordering_tracks_similarity(self):
+        similar = make_pair(a_range=(0, 30_000), b_range=(5_000, 35_000))
+        dissimilar = make_pair(a_range=(0, 30_000), b_range=(28_000, 58_000))
+        assert jaccard_estimate(*similar) > jaccard_estimate(*dissimilar)
+
+
+class TestErrorBound:
+    def test_scales_with_operand_sizes(self):
+        small = make_pair(a_range=(0, 1_000), b_range=(500, 1_500))
+        large = make_pair(a_range=(0, 100_000), b_range=(50_000, 150_000))
+        assert intersection_error_bound(*large) > intersection_error_bound(*small)
+
+    def test_mixed_estimators_rejected(self):
+        a = SuperLogLogSketch(m=16)
+        b = PCSASketch(m=16)
+        with pytest.raises(IncompatibleSketchError):
+            intersection_error_bound(a, b)
+
+
+class TestDHSSetOps:
+    def test_union_and_intersection_over_dhs(self):
+        from repro.core.config import DHSConfig
+        from repro.core.dhs import DistributedHashSketch
+        from repro.overlay.chord import ChordRing
+
+        ring = ChordRing.build(64, bits=32, seed=8)
+        dhs = DistributedHashSketch(
+            ring, DHSConfig(key_bits=16, num_bitmaps=16, lim=70), seed=5
+        )
+        node_ids = list(ring.node_ids())
+        for i in range(3_000):
+            dhs.insert("A", i, origin=node_ids[i % 64])
+        for i in range(2_000, 5_000):
+            dhs.insert("B", i, origin=node_ids[i % 64])
+        union = dhs.count_union(["A", "B"])
+        intersection = dhs.count_intersection("A", "B")
+        assert union == pytest.approx(5_000, rel=0.5)
+        assert intersection < union

@@ -1,0 +1,82 @@
+"""Edge-path tests: error hierarchy, rarely-used options, wide hashes."""
+
+import pytest
+
+from repro import errors
+from repro.hashing.family import MD4Hash, MixerHash
+from repro.sketches.pcsa import PCSASketch
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in (
+            "ConfigurationError",
+            "OverlayError",
+            "EmptyOverlayError",
+            "NodeNotFoundError",
+            "LookupFailedError",
+            "SketchError",
+            "IncompatibleSketchError",
+            "EstimationError",
+            "HistogramError",
+            "QueryError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_node_not_found_is_key_error(self):
+        assert issubclass(errors.NodeNotFoundError, KeyError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.EstimationError("boom")
+
+
+class TestWideHashes:
+    def test_mixer_128_bits(self):
+        h = MixerHash(bits=128, seed=1)
+        values = {h(i) for i in range(100)}
+        assert len(values) == 100
+        assert any(v >= 2**64 for v in values)  # uses the high half
+        assert all(v < 2**128 for v in values)
+
+    def test_md4_128_bits(self):
+        h = MD4Hash(bits=128, seed=1)
+        assert 0 <= h("x") < 2**128
+
+
+class TestPCSABiasCorrection:
+    def test_correction_divides_estimate(self):
+        corrected = PCSASketch(m=16, bias_correction=True, hash_family=MixerHash(seed=2))
+        raw = PCSASketch(m=16, bias_correction=False, hash_family=MixerHash(seed=2))
+        corrected.add_all(range(20_000))
+        raw.add_all(range(20_000))
+        # Same bitmaps, so the raw estimate is exactly (1 + 0.31/m) larger.
+        assert raw.estimate() == pytest.approx(corrected.estimate() * (1 + 0.31 / 16))
+
+    def test_copy_preserves_flag(self):
+        sketch = PCSASketch(m=16, bias_correction=False)
+        sketch.add_all(range(100))
+        assert sketch.copy().bias_correction is False
+
+
+class TestDocsShipped:
+    def test_required_documents_exist(self):
+        import pathlib
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"):
+            path = root / name
+            assert path.exists(), name
+            assert path.stat().st_size > 1_000, name
+
+    def test_design_references_real_benchmarks(self):
+        import pathlib
+        import re
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        design = (root / "DESIGN.md").read_text()
+        for match in set(re.findall(r"benchmarks/(test_bench_\w+\.py)", design)):
+            assert (root / "benchmarks" / match).exists(), match

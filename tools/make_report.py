@@ -1,0 +1,84 @@
+"""Aggregate archived benchmark tables into one REPORT.md.
+
+Usage:  python tools/make_report.py [results_dir] [output_path]
+
+Collects every ``benchmarks/results/*.txt`` produced by a
+``pytest benchmarks/ --benchmark-only`` run into a single markdown file
+with a small table of contents — handy for attaching a full reproduction
+run to an issue or a paper-review response.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+#: Presentation order (anything not listed is appended alphabetically).
+PREFERRED_ORDER = [
+    "insertion_costs",
+    "table2_counting",
+    "scalability",
+    "accuracy_vs_m",
+    "table3_histograms",
+    "table3_bucket_independence",
+    "histogram_accuracy",
+    "histogram_types",
+    "query_opt",
+    "baselines",
+    "multidim",
+    "churn_policies",
+    "failure_robustness",
+    "ablation_retries",
+    "ablation_replication",
+    "ablation_bitshift",
+    "overlay_agnosticism",
+]
+
+
+def build_report(results_dir: pathlib.Path) -> str:
+    """Render all archived result tables as one markdown document."""
+    available = {path.stem: path for path in sorted(results_dir.glob("*.txt"))}
+    if not available:
+        raise FileNotFoundError(
+            f"no result files in {results_dir}; run "
+            "'pytest benchmarks/ --benchmark-only' first"
+        )
+    ordered = [name for name in PREFERRED_ORDER if name in available]
+    ordered += [name for name in sorted(available) if name not in ordered]
+
+    lines = [
+        "# Reproduction run report",
+        "",
+        "Generated from `benchmarks/results/` — see EXPERIMENTS.md for the",
+        "paper-vs-measured discussion of each table.",
+        "",
+        "## Contents",
+        "",
+    ]
+    for name in ordered:
+        lines.append(f"- [{name}](#{name.replace('_', '-')})")
+    lines.append("")
+    for name in ordered:
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append(available[name].read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else (
+        pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+    )
+    output = pathlib.Path(argv[2]) if len(argv) > 2 else (
+        results_dir.parent / "REPORT.md"
+    )
+    output.write_text(build_report(results_dir))
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
