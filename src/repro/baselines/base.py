@@ -16,7 +16,7 @@ from typing import Dict, List
 
 from repro.overlay.stats import OpCost
 
-__all__ = ["Scenario", "BaselineResult"]
+__all__ = ["Scenario", "BaselineResult", "distinct_count", "total_count"]
 
 #: Items held per node: the common input of every baseline.
 Scenario = Dict[int, List]

@@ -22,9 +22,10 @@ from typing import Hashable, Optional
 from repro.baselines.base import BaselineResult, Scenario
 from repro.hashing.family import HashFamily, default_hash_family
 from repro.overlay.dht import DHTProtocol
+from repro.overlay.node import Node
 from repro.overlay.stats import OpCost
 
-__all__ = ["SingleNodeCounter"]
+__all__ = ["SingleNodeCounter", "PartitionedCounter"]
 
 
 class SingleNodeCounter:
@@ -51,10 +52,10 @@ class SingleNodeCounter:
     # ------------------------------------------------------------------
     # Updates.
     # ------------------------------------------------------------------
-    def add(self, item, origin: Optional[int] = None) -> OpCost:
+    def add(self, item: Hashable, origin: Optional[int] = None) -> OpCost:
         """Record one item occurrence (routed to the counter node)."""
 
-        def write(node) -> None:
+        def write(node: Node) -> None:
             slot = node.store.setdefault(("counter", self.counter_id), {"n": 0, "set": set()})
             if self.distinct:
                 slot["set"].add(item)
@@ -133,11 +134,11 @@ class PartitionedCounter:
         """Current owner of every partition."""
         return [self.dht.owner_of(key) for key in self._keys]
 
-    def add(self, item, origin: Optional[int] = None) -> OpCost:
+    def add(self, item: Hashable, origin: Optional[int] = None) -> OpCost:
         """Record one item in its hash partition."""
         index = self.hash_family(item) % self.partitions
 
-        def write(node) -> None:
+        def write(node: Node) -> None:
             slot = node.store.setdefault(
                 ("partition", self.counter_id, index), set()
             )

@@ -26,6 +26,7 @@ from repro.core.maintenance import refresh, sweep_expired
 from repro.core.tuples import merge_store_values, storage_entries
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.stats import OpCost
+from repro.sketches.base import HashSketch
 from repro.sketches.merge import union_all
 from repro.sketches.setops import estimate_intersection
 
@@ -217,7 +218,7 @@ class DistributedHashSketch:
             for node_id, entries in self.storage_per_node().items()
         }
 
-    def local_sketch(self, items: Iterable[Any]):
+    def local_sketch(self, items: Iterable[Any]) -> HashSketch:
         """A centralized reference sketch over ``items`` (ground truth).
 
         Uses the same hash family and parameters, so a lossless

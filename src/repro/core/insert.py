@@ -21,6 +21,7 @@ from repro.core.mapping import BitIntervalMap
 from repro.core.tuples import write_entry
 from repro.hashing.family import HashFamily
 from repro.overlay.dht import DHTProtocol
+from repro.overlay.node import Node
 from repro.overlay.replication import replicate_to_successors
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
@@ -160,7 +161,7 @@ class Inserter:
         key = self.mapping.random_key_in_interval(index, self._rng)
         expiry = self.config.expiry(now)
 
-        def write(node) -> None:
+        def write(node: Node) -> None:
             for metric_id, vector, position in tuples:
                 write_entry(node, metric_id, vector, position, expiry)
 

@@ -18,6 +18,7 @@ With the fault-tolerance shift ``b`` (section 3.5), stored position
 
 from __future__ import annotations
 
+import random
 from typing import Tuple
 
 from repro.core.config import DHSConfig
@@ -91,7 +92,7 @@ class BitIntervalMap:
             )
         return index + self.config.bit_shift
 
-    def random_key_in_interval(self, index: int, rng) -> int:
+    def random_key_in_interval(self, index: int, rng: random.Random) -> int:
         """A uniformly random id inside interval ``index``."""
         lo, hi = self.interval_for_index(index)
         return rng.randrange(lo, hi)

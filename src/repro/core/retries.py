@@ -73,5 +73,11 @@ def lim_with_replication(p: float, n_items: float, n_bins: float, m: int, replic
 
 
 def success_probability(n_items: float, n_bins: float, lim: int) -> float:
-    """Probability that ``lim`` probes find a non-empty bin (inverse view)."""
-    return 1.0 - prob_all_probes_empty(n_items, n_bins, min(lim, int(n_bins)))
+    """Probability that ``lim`` probes find a non-empty bin (inverse view).
+
+    ``lim >= n_bins`` means exhaustion: every bin is probed, so success is
+    certain.  ``prob_all_probes_empty`` handles that branch — flooring the
+    budget to ``int(n_bins)`` here would miss it for fractional ``n_bins``
+    (expected node counts are real-valued) and understate the probability.
+    """
+    return 1.0 - prob_all_probes_empty(n_items, n_bins, lim)

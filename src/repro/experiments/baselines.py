@@ -21,6 +21,7 @@ from repro.baselines.sketch_gossip import SketchGossip
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
 from repro.experiments.common import build_ring
+from repro.overlay.stats import OpCost
 from repro.experiments.report import format_table
 from repro.sim.seeds import derive_seed, rng_for
 from repro.workloads.assignment import assign_items
@@ -59,7 +60,9 @@ def run_baseline_comparison(
     truth = float(distinct_count(scenario))
     rows: List[BaselineRow] = []
 
-    def measure(method, estimate, cost, rounds, insensitive):
+    def measure(
+        method: str, estimate: float, cost: OpCost, rounds: int, insensitive: bool
+    ) -> None:
         rows.append(
             BaselineRow(
                 method=method,

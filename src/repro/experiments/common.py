@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.dhs import DistributedHashSketch
 from repro.hashing.vectorized import observations_np
@@ -38,6 +39,8 @@ __all__ = [
     "populate_metric",
     "populate_relation",
     "populate_histogram_metrics",
+    "filter_bucket_metric",
+    "populate_filter_histogram_metrics",
     "bucket_metric",
     "CountSample",
     "sample_counts",
@@ -65,7 +68,7 @@ def build_ring(n_nodes: int = 1024, bits: int = 64, seed: int = 0) -> ChordRing:
 def populate_metric(
     dhs: DistributedHashSketch,
     metric_id: Hashable,
-    item_ids: np.ndarray,
+    item_ids: npt.NDArray[np.int64],
     seed: int = 0,
     now: int = 0,
 ) -> OpCost:

@@ -11,13 +11,14 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["splitmix64_np", "mix_with_seed_np", "observations_np"]
 
 _U64 = np.uint64
 
 
-def splitmix64_np(x: np.ndarray) -> np.ndarray:
+def splitmix64_np(x: npt.NDArray[np.uint64]) -> npt.NDArray[np.uint64]:
     """splitmix64 over a uint64 array (wrap-around semantics)."""
     with np.errstate(over="ignore"):
         x = (x + _U64(0x9E3779B97F4A7C15)).astype(_U64)
@@ -26,7 +27,7 @@ def splitmix64_np(x: np.ndarray) -> np.ndarray:
         return x ^ (x >> _U64(31))
 
 
-def mix_with_seed_np(x: np.ndarray, seed: int) -> np.ndarray:
+def mix_with_seed_np(x: npt.NDArray[np.uint64], seed: int) -> npt.NDArray[np.uint64]:
     """Vectorized ``repro.hashing.mixers.mix_with_seed``."""
     from repro.hashing.mixers import splitmix64
 
@@ -35,11 +36,11 @@ def mix_with_seed_np(x: np.ndarray, seed: int) -> np.ndarray:
 
 
 def observations_np(
-    item_ids: np.ndarray,
+    item_ids: npt.NDArray[np.int64],
     m: int,
     key_bits: int,
     seed: int = 0,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> Tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
     """``(vector, position)`` arrays matching the scalar sketch path.
 
     ``item_ids`` must be non-negative integers (the library's workload

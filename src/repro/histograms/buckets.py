@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import HistogramError
 
@@ -93,7 +94,7 @@ class BucketSpec:
             )
         return int(np.searchsorted(self.boundaries, value, side="right")) - 1
 
-    def bucket_indices(self, values: np.ndarray) -> np.ndarray:
+    def bucket_indices(self, values: npt.ArrayLike) -> npt.NDArray[np.intp]:
         """Vectorized :meth:`bucket_index` (values must be in-domain)."""
         values = np.asarray(values)
         if values.size and (values.min() < self.amin or values.max() >= self.amax):

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import HistogramError
 from repro.histograms.buckets import BucketSpec
@@ -38,7 +39,7 @@ class Histogram:
     # Constructors.
     # ------------------------------------------------------------------
     @classmethod
-    def exact(cls, spec: BucketSpec, values: np.ndarray) -> "Histogram":
+    def exact(cls, spec: BucketSpec, values: npt.ArrayLike) -> "Histogram":
         """Ground-truth histogram from materialized values."""
         indices = spec.bucket_indices(np.asarray(values))
         counts = np.bincount(indices, minlength=spec.n_buckets).astype(float)

@@ -14,6 +14,7 @@ hop/bandwidth accounting the evaluation reports.
 from __future__ import annotations
 
 import bisect
+import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
@@ -203,7 +204,7 @@ class DHTProtocol(ABC):
         self.load.record(node_id)
         return read(node)
 
-    def random_live_node(self, rng) -> int:
+    def random_live_node(self, rng: random.Random) -> int:
         """A uniformly random live (not lazily-failed) node id."""
         if not self._ids:
             raise EmptyOverlayError("overlay has no live nodes")

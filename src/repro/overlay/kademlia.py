@@ -21,6 +21,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.errors import ConfigurationError, EmptyOverlayError
 from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.idspace import IdSpace
+from repro.overlay.node import Node
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
 
@@ -68,7 +69,7 @@ class KademliaOverlay(DHTProtocol):
     # ------------------------------------------------------------------
     # Membership (invalidate bucket contacts on churn).
     # ------------------------------------------------------------------
-    def add_node(self, node_id: int):
+    def add_node(self, node_id: int) -> Node:
         self._contact_cache.clear()
         return super().add_node(node_id)
 

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, Optional, Tuple
 from repro.errors import ConfigurationError, EmptyOverlayError
 from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.idspace import IdSpace
+from repro.overlay.node import Node
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
 
@@ -78,7 +79,7 @@ class PastryOverlay(DHTProtocol):
     # ------------------------------------------------------------------
     # Membership (invalidate routing contacts on churn).
     # ------------------------------------------------------------------
-    def add_node(self, node_id: int):
+    def add_node(self, node_id: int) -> Node:
         self._contact_cache.clear()
         return super().add_node(node_id)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import QueryError
 from repro.query.plans import BaseRel, PlanNode
@@ -54,7 +55,7 @@ def execute_plan(
         domain = max(domain, int(relation.values.max(initial=0)))
     shipped: List[float] = []
 
-    def walk(node: PlanNode) -> Tuple[np.ndarray, float, int]:
+    def walk(node: PlanNode) -> Tuple[npt.NDArray[np.float64], float, int]:
         """Returns (frequency vector, tuple width bytes, rows)."""
         if isinstance(node, BaseRel):
             try:

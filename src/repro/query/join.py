@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import QueryError
 from repro.histograms.histogram import Histogram
@@ -43,7 +44,7 @@ def estimate_join_size(histograms: Sequence[Histogram]) -> float:
     return total
 
 
-def true_join_size(value_arrays: Sequence[np.ndarray], domain: int) -> int:
+def true_join_size(value_arrays: Sequence[npt.NDArray[np.int64]], domain: int) -> int:
     """Exact equi-join cardinality: ``sum_v prod_r freq_r(v)``."""
     if not value_arrays:
         raise QueryError("true_join_size needs at least one relation")

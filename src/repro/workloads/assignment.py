@@ -10,9 +10,10 @@ succeed with few retries.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, Hashable, List, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.sim.seeds import derive_seed
@@ -24,7 +25,7 @@ def assign_uniform(
     n_items: int,
     node_ids: Sequence[int],
     seed: int = 0,
-) -> Dict[int, np.ndarray]:
+) -> Dict[int, npt.NDArray[np.intp]]:
     """Uniformly map item indices ``[0, n_items)`` onto nodes.
 
     Returns ``{node_id: array of item indices}`` covering every index
@@ -39,7 +40,7 @@ def assign_uniform(
     order = np.argsort(choices, kind="stable")
     sorted_choices = choices[order]
     boundaries = np.searchsorted(sorted_choices, np.arange(len(node_ids) + 1))
-    assignment: Dict[int, np.ndarray] = {}
+    assignment: Dict[int, npt.NDArray[np.intp]] = {}
     for i, node_id in enumerate(node_ids):
         chunk = order[boundaries[i] : boundaries[i + 1]]
         if chunk.size:
@@ -48,10 +49,10 @@ def assign_uniform(
 
 
 def assign_items(
-    items: Sequence,
+    items: Sequence[Hashable],
     node_ids: Sequence[int],
     seed: int = 0,
-) -> Dict[int, List]:
+) -> Dict[int, List[Hashable]]:
     """Uniformly map concrete items onto nodes (small workloads)."""
     index_map = assign_uniform(len(items), node_ids, seed=seed)
     return {

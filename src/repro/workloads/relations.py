@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 from repro.workloads.zipf import ZipfGenerator
@@ -48,10 +49,10 @@ class Relation:
 
     name: str
     tag: int
-    values: np.ndarray  # join-attribute value per tuple
+    values: npt.NDArray[np.int64]  # join-attribute value per tuple
     domain: Tuple[int, int]  # [amin, amax] inclusive
     tuple_bytes: int = TUPLE_BYTES
-    filter_values: np.ndarray | None = None
+    filter_values: npt.NDArray[np.int64] | None = None
     filter_domain: Tuple[int, int] | None = None
 
     @property
@@ -63,7 +64,7 @@ class Relation:
         """Globally unique 64-bit id of tuple ``index``."""
         return (self.tag << 40) | index
 
-    def item_ids(self) -> np.ndarray:
+    def item_ids(self) -> npt.NDArray[np.int64]:
         """All tuple ids as an int64 array."""
         return (np.int64(self.tag) << np.int64(40)) | np.arange(
             self.size, dtype=np.int64

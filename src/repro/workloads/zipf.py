@@ -10,6 +10,7 @@ multi-million-tuple relations generate in milliseconds.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigurationError
 
@@ -43,7 +44,7 @@ class ZipfGenerator:
         lower = self._cdf[value - 2] if value >= 2 else 0.0
         return float(self._cdf[value - 1] - lower)
 
-    def sample(self, count: int, seed: int = 0) -> np.ndarray:
+    def sample(self, count: int, seed: int = 0) -> npt.NDArray[np.int64]:
         """``count`` iid samples as an int64 array (deterministic)."""
         if count < 0:
             raise ConfigurationError(f"count must be >= 0, got {count}")

@@ -1,0 +1,410 @@
+"""Tests for ``tools.analyze`` (dhslint).
+
+Each rule code gets a fixture snippet that triggers it and one that is
+clean (or suppressed); a subprocess smoke test asserts the shipped tree
+passes and that the CLI's exit codes / JSON output behave.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.analyze import Config, analyze_file, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(tmp_path: Path, source: str, module: str | None = None, config: Config | None = None):
+    """Write ``source`` to a file and return its violation codes."""
+    path = tmp_path / "snippet.py"
+    path.write_text(textwrap.dedent(source))
+    violations, suppressed = analyze_file(path, config or Config(), module=module)
+    return [v.code for v in violations], suppressed
+
+
+# ----------------------------------------------------------------------
+# DHS101 — unseeded RNG
+# ----------------------------------------------------------------------
+class TestUnseededRng:
+    def test_module_level_random_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import random\nx = random.random()\n")
+        assert codes == ["DHS101"]
+
+    def test_direct_random_construction_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import random\nrng = random.Random(7)\n")
+        assert codes == ["DHS101"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "from random import randint as ri\nx = ri(0, 9)\n")
+        assert codes == ["DHS101"]
+
+    def test_numpy_global_rng_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import numpy as np\nx = np.random.rand(3)\n")
+        assert codes == ["DHS101"]
+
+    def test_unseeded_default_rng_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import numpy as np\nr = np.random.default_rng()\n")
+        assert codes == ["DHS101"]
+
+    def test_seeded_default_rng_clean(self, tmp_path):
+        codes, _ = lint(tmp_path, "import numpy as np\nr = np.random.default_rng(42)\n")
+        assert codes == []
+
+    def test_seed_root_module_exempt(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import random\nrng = random.Random(7)\n",
+            module="repro.sim.seeds",
+        )
+        assert codes == []
+
+    def test_instance_rng_use_clean(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(rng):\n    return rng.random()\n")
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# DHS102 — wall clock / entropy
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import time\nnow = time.time()\n")
+        assert codes == ["DHS102"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "from datetime import datetime\nd = datetime.now()\n"
+        )
+        assert codes == ["DHS102"]
+
+    def test_os_urandom_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import os\nb = os.urandom(8)\n")
+        assert codes == ["DHS102"]
+
+    def test_logical_time_clean(self, tmp_path):
+        codes, _ = lint(tmp_path, "def sweep(now: int) -> int:\n    return now + 1\n")
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# DHS103 — builtin hash()
+# ----------------------------------------------------------------------
+class TestBuiltinHash:
+    def test_hash_call_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "key = hash('item')\n")
+        assert codes == ["DHS103"]
+
+    def test_hash_inside_dunder_hash_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            """
+            class Family:
+                def __hash__(self) -> int:
+                    return hash((type(self).__name__, 3))
+            """,
+        )
+        assert codes == []
+
+    def test_method_named_hash_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            """
+            class Family:
+                def hash(self, item):
+                    return 7
+            f = Family()
+            x = f.hash('a')
+            """,
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# DHS2xx — layering
+# ----------------------------------------------------------------------
+def make_package(root: Path, files: dict) -> Path:
+    """Materialize a mini ``repro`` package tree with ``__init__.py`` files."""
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for ancestor in path.relative_to(root).parents:
+            if str(ancestor) != ".":
+                (root / ancestor / "__init__.py").touch()
+        path.write_text(textwrap.dedent(body))
+    return root / "repro"
+
+
+class TestLayering:
+    def test_upward_import_flagged(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sketches/est.py": "from repro.core.dhs import X\n"}
+        )
+        report = analyze_paths([pkg], Config())
+        assert [v.code for v in report.violations] == ["DHS201"]
+        assert "upward" in report.violations[0].message
+
+    def test_same_layer_import_flagged(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sketches/est.py": "from repro.sim.seeds import rng_for\n"}
+        )
+        report = analyze_paths([pkg], Config())
+        assert [v.code for v in report.violations] == ["DHS201"]
+        assert "same-layer" in report.violations[0].message
+
+    def test_relative_upward_import_flagged(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sketches/est.py": "from ..core import dhs\n"}
+        )
+        report = analyze_paths([pkg], Config())
+        assert [v.code for v in report.violations] == ["DHS201"]
+
+    def test_downward_import_clean(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            {"repro/core/engine.py": "from repro.sketches.base import HashSketch\n"},
+        )
+        report = analyze_paths([pkg], Config())
+        assert report.violations == []
+
+    def test_hashing_must_stay_self_contained(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/hashing/mix.py": "from repro.errors import ReproError\n"}
+        )
+        report = analyze_paths([pkg], Config())
+        assert [v.code for v in report.violations] == ["DHS202"]
+
+    def test_hashing_internal_import_clean(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/hashing/mix.py": "from repro.hashing.bits import rho\n"}
+        )
+        report = analyze_paths([pkg], Config())
+        assert report.violations == []
+
+    def test_unassigned_package_flagged(self, tmp_path):
+        pkg = make_package(tmp_path, {"repro/mystery/mod.py": "x = 1\n"})
+        report = analyze_paths([pkg], Config())
+        # One DHS203 per file of the unassigned package (init + module).
+        assert set(v.code for v in report.violations) == {"DHS203"}
+        assert len(report.violations) == 2
+
+
+# ----------------------------------------------------------------------
+# DHS301 — float equality
+# ----------------------------------------------------------------------
+class TestFloatEquality:
+    def test_float_literal_comparison_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(x):\n    return x == 0.5\n")
+        assert codes == ["DHS301"]
+
+    def test_division_comparison_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(a, b, c):\n    return a / b != c\n")
+        assert codes == ["DHS301"]
+
+    def test_math_call_comparison_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "import math\ndef f(x, y):\n    return math.log(x) == y\n")
+        assert codes == ["DHS301"]
+
+    def test_isclose_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "import math\ndef f(x):\n    return math.isclose(x, 0.5)\n"
+        )
+        assert codes == []
+
+    def test_int_comparison_clean(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(x: int) -> bool:\n    return x == 5\n")
+        assert codes == []
+
+    def test_rule_scoped_to_estimator_packages(self, tmp_path):
+        source = "def f(x):\n    return x == 0.5\n"
+        flagged, _ = lint(tmp_path, source, module="repro.sketches.pcsa")
+        exempt, _ = lint(tmp_path, source, module="repro.overlay.chord")
+        assert flagged == ["DHS301"]
+        assert exempt == []
+
+
+# ----------------------------------------------------------------------
+# DHS4xx — generic hygiene
+# ----------------------------------------------------------------------
+class TestGenericRules:
+    def test_mutable_default_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(xs=[]):\n    return xs\n")
+        assert codes == ["DHS401"]
+
+    def test_mutable_call_default_flagged(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(xs=dict()):\n    return xs\n")
+        assert codes == ["DHS401"]
+
+    def test_none_default_clean(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f(xs=None):\n    return xs or []\n")
+        assert codes == []
+
+    def test_bare_except_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "try:\n    x = 1\nexcept:\n    x = 2\n"
+        )
+        assert codes == ["DHS402"]
+
+    def test_broad_except_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "try:\n    x = 1\nexcept Exception:\n    x = 2\n"
+        )
+        assert codes == ["DHS402"]
+
+    def test_reraising_handler_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "try:\n    x = 1\nexcept Exception:\n    raise RuntimeError('ctx')\n",
+        )
+        assert codes == []
+
+    def test_narrow_except_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "try:\n    x = 1\nexcept ValueError:\n    x = 2\n"
+        )
+        assert codes == []
+
+    def test_all_lists_undefined_name(self, tmp_path):
+        codes, _ = lint(tmp_path, "__all__ = ['ghost']\n")
+        assert codes == ["DHS403"]
+
+    def test_public_def_missing_from_all(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "__all__ = ['f']\n\ndef f():\n    pass\n\ndef g():\n    pass\n"
+        )
+        assert codes == ["DHS403"]
+
+    def test_private_def_not_required(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "__all__ = ['f']\n\ndef f():\n    pass\n\ndef _g():\n    pass\n"
+        )
+        assert codes == []
+
+    def test_module_without_all_not_checked(self, tmp_path):
+        codes, _ = lint(tmp_path, "def f():\n    pass\n")
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions and config
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_inline_disable_suppresses(self, tmp_path):
+        codes, suppressed = lint(
+            tmp_path,
+            "import random\nx = random.random()  # dhslint: disable=DHS101\n",
+        )
+        assert codes == []
+        assert suppressed == 1
+
+    def test_disable_all_suppresses(self, tmp_path):
+        codes, suppressed = lint(
+            tmp_path,
+            "import time\nnow = time.time()  # dhslint: disable=all\n",
+        )
+        assert codes == []
+        assert suppressed == 1
+
+    def test_disable_wrong_code_keeps_violation(self, tmp_path):
+        codes, suppressed = lint(
+            tmp_path,
+            "import time\nnow = time.time()  # dhslint: disable=DHS101\n",
+        )
+        assert codes == ["DHS102"]
+        assert suppressed == 0
+
+    def test_project_wide_disable(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import time\nnow = time.time()\n",
+            config=Config(disable=("DHS102",)),
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end
+# ----------------------------------------------------------------------
+def run_cli(*args: str, cwd: Path = REPO_ROOT) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "tools.analyze", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestCli:
+    def test_shipped_tree_is_clean(self):
+        result = run_cli("src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 violation(s)" in result.stdout
+
+    def test_violations_exit_nonzero_with_code(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        result = run_cli(str(bad))
+        assert result.returncode == 1
+        assert "DHS101" in result.stdout
+
+    def test_json_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        result = run_cli("--format", "json", str(bad))
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["counts"] == {"DHS102": 1}
+        assert payload["violations"][0]["line"] == 2
+
+    def test_missing_path_is_usage_error(self):
+        result = run_cli("does/not/exist")
+        assert result.returncode == 2
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        result = run_cli(str(bad))
+        assert result.returncode == 2
+        assert "syntax error" in result.stdout
+
+    def test_list_rules_names_every_code(self):
+        result = run_cli("--list-rules")
+        assert result.returncode == 0
+        for code in (
+            "DHS101", "DHS102", "DHS103",
+            "DHS201", "DHS202", "DHS203",
+            "DHS301", "DHS401", "DHS402", "DHS403",
+        ):
+            assert code in result.stdout
+
+    def test_pyproject_config_is_honoured(self, tmp_path):
+        # A custom layer map in the fixture's pyproject.toml flips the
+        # verdict: `alpha` may import `beta` only if beta sits lower.
+        make_package(tmp_path, {"repro/alpha/a.py": "from repro.beta import b\n"})
+        make_package(tmp_path, {"repro/beta/b.py": "x = 1\n"})
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.dhslint]\npackage = "repro"\nlayers = [["beta"], ["alpha"]]\n'
+        )
+        clean = run_cli(str(tmp_path / "repro"), cwd=tmp_path)
+        assert clean.returncode == 0, clean.stdout
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.dhslint]\npackage = "repro"\nlayers = [["alpha"], ["beta"]]\n'
+        )
+        flagged = run_cli(str(tmp_path / "repro"), cwd=tmp_path)
+        assert flagged.returncode == 1
+        assert "DHS201" in flagged.stdout
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

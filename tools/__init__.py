@@ -1,0 +1,1 @@
+"""Developer tooling for the DHS reproduction (not shipped with the package)."""

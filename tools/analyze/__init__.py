@@ -1,0 +1,46 @@
+"""dhslint — AST-based invariant checker for the DHS reproduction.
+
+The test suite can only *sample* the invariants this codebase rests on:
+bit-for-bit deterministic replay from one master seed, a strict import
+layering DAG, and numerically careful estimator code.  ``dhslint`` checks
+whole classes of violations statically, so refactors can move fast without
+silently breaking determinism or the architecture.
+
+Run it as::
+
+    python -m tools.analyze [--format text|json] [paths...]
+
+Rules are small :class:`~tools.analyze.engine.Rule` subclasses registered
+by code (``DHS101`` ...).  Per-line suppressions use
+``# dhslint: disable=DHS101`` (comma-separated codes, or ``all``); the
+project-wide configuration lives in ``[tool.dhslint]`` in ``pyproject.toml``.
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from tools.analyze.config import Config, load_config
+from tools.analyze.engine import (
+    REGISTRY,
+    FileContext,
+    Report,
+    Rule,
+    Violation,
+    analyze_file,
+    analyze_paths,
+)
+
+# Importing the rules package registers every rule class.
+from tools.analyze import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Config",
+    "FileContext",
+    "REGISTRY",
+    "Report",
+    "Rule",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "load_config",
+]

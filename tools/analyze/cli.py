@@ -1,0 +1,105 @@
+"""Command-line front end: ``python -m tools.analyze [options] [paths...]``.
+
+Exit status: 0 clean, 1 violations found, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from tools.analyze.config import load_config
+from tools.analyze.engine import REGISTRY, Report, analyze_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.analyze",
+        description="dhslint: AST-based invariant checker for the DHS stack.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _render_text(report: Report) -> str:
+    lines = [violation.render() for violation in report.violations]
+    lines.extend(report.errors)
+    counts = report.counts_by_code
+    summary = ", ".join(f"{code}×{n}" for code, n in counts.items()) or "clean"
+    lines.append(
+        f"dhslint: {len(report.violations)} violation(s) "
+        f"[{summary}], {report.suppressed} suppressed, "
+        f"{report.files} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def _render_json(report: Report) -> str:
+    payload = {
+        "violations": [
+            {
+                "code": v.code,
+                "message": v.message,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+            }
+            for v in report.violations
+        ],
+        "errors": report.errors,
+        "counts": report.counts_by_code,
+        "suppressed": report.suppressed,
+        "files": report.files,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _render_rules() -> str:
+    lines = []
+    for code, rule_cls in sorted(REGISTRY.items()):
+        lines.append(f"{code} ({rule_cls.name})")
+        lines.append(f"    {rule_cls.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"dhslint: no such path: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+    config = load_config(paths[0])
+    report = analyze_paths(paths, config)
+    print(_render_text(report) if args.format == "text" else _render_json(report))
+    if report.errors:
+        return 2
+    return 1 if report.violations else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Rule framework: registry, file contexts, suppressions, and the runner.
+
+A rule is a subclass of :class:`Rule` with a unique ``code`` (``DHS101``
+...), registered via the :func:`register` decorator.  The runner parses
+each file once, hands every rule a :class:`FileContext`, and filters the
+returned :class:`Violation` stream through inline suppressions
+(``# dhslint: disable=DHS101,DHS301`` or ``# dhslint: disable=all`` on the
+offending line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from tools.analyze.config import Config
+
+_SUPPRESS_RE = re.compile(r"#\s*dhslint:\s*disable=([A-Za-z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a specific source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule needs to know about one parsed source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    config: Config
+    #: Dotted module name when the file sits inside a package tree (walked
+    #: up through ``__init__.py`` files), else ``None`` (standalone snippet).
+    module: Optional[str]
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        """Dotted-path components, empty for standalone files."""
+        return tuple(self.module.split(".")) if self.module else ()
+
+    def in_package(self) -> bool:
+        """Whether the file belongs to the configured root package."""
+        parts = self.package_parts
+        return bool(parts) and parts[0] == self.config.package
+
+
+class Rule:
+    """Base class for dhslint rules.
+
+    Subclasses set ``code``/``name``/``rationale`` and implement
+    :meth:`check`.  ``rationale`` doubles as documentation: it is surfaced
+    by ``--list-rules`` and the rule catalogue generator.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            code=self.code,
+            message=message,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+#: All registered rules, keyed by code.
+REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY` (codes are unique)."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def _suppressions(source: str) -> Dict[int, frozenset]:
+    """Map line number -> set of suppressed codes (or ``{"all"}``)."""
+    table: Dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            codes = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            table[lineno] = codes
+    return table
+
+
+def resolve_module(path: Path) -> Optional[str]:
+    """Dotted module name for ``path``, walking up while ``__init__.py`` exists."""
+    path = path.resolve()
+    if path.suffix != ".py":
+        return None
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    in_package = False
+    while (directory / "__init__.py").is_file():
+        in_package = True
+        parts.append(directory.name)
+        directory = directory.parent
+    if not parts or not in_package:
+        # A file outside any package tree has no dotted name; rules with
+        # module-scoped applicability treat it as an unscoped snippet.
+        return None
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class Report:
+    """Aggregate result of one analyzer run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def counts_by_code(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.code] = counts.get(violation.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def analyze_file(
+    path: Path, config: Config, module: Optional[str] = None
+) -> Tuple[List[Violation], int]:
+    """Run every enabled rule over one file.
+
+    Returns ``(violations, suppressed_count)``.  ``module`` overrides the
+    filesystem-derived dotted name (useful for fixtures).  Raises
+    ``SyntaxError`` if the file does not parse.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    ctx = FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        config=config,
+        module=module if module is not None else resolve_module(path),
+    )
+    suppress = _suppressions(source)
+    kept: List[Violation] = []
+    suppressed = 0
+    for code, rule_cls in sorted(REGISTRY.items()):
+        if code in config.disable:
+            continue
+        for violation in rule_cls().check(ctx):
+            codes = suppress.get(violation.line, frozenset())
+            if "all" in codes or violation.code in codes:
+                suppressed += 1
+            else:
+                kept.append(violation)
+    kept.sort(key=lambda v: (v.line, v.col, v.code))
+    return kept, suppressed
+
+
+def iter_python_files(paths: Iterable[Path], config: Config) -> Iterator[Path]:
+    """Expand files/directories into the ``.py`` files to analyze."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not any(part in candidate.parts for part in config.exclude):
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def analyze_paths(paths: Iterable[Path], config: Config) -> Report:
+    """Analyze every Python file under ``paths`` and aggregate the results."""
+    report = Report()
+    for file_path in iter_python_files(paths, config):
+        report.files += 1
+        try:
+            violations, suppressed = analyze_file(file_path, config)
+        except SyntaxError as exc:
+            report.errors.append(f"{file_path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        report.violations.extend(violations)
+        report.suppressed += suppressed
+    return report

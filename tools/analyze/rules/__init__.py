@@ -1,0 +1,3 @@
+"""Rule modules — importing this package registers every rule."""
+
+from tools.analyze.rules import determinism, floats, generic, layering  # noqa: F401

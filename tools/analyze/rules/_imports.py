@@ -1,0 +1,54 @@
+"""Shared helper: resolve attribute chains through import aliases.
+
+Turns ``rnd.gauss(...)`` into ``"random.gauss"`` when the module was bound
+with ``import random as rnd``, and ``default_rng(...)`` into
+``"numpy.random.default_rng"`` after ``from numpy.random import
+default_rng``.  Resolution is purely lexical — no control-flow tracking —
+which is exactly the over-approximation a linter wants: if a name *could*
+refer to the module, treat it as if it does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+
+class ImportTable:
+    """Alias tables for one module's imports."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: ``import numpy as np`` -> {"np": "numpy"}
+        self.modules: Dict[str, str] = {}
+        #: ``from random import random as rnd`` -> {"rnd": "random.random"}
+        self.names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Dotted origin of an expression, e.g. ``"numpy.random.default_rng"``."""
+        chain = []
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.modules:
+            root = self.modules[base]
+        elif base in self.names:
+            root = self.names[base]
+        elif not chain:
+            # A bare name that was never imported: resolve to itself so
+            # callers can recognise builtins such as ``hash``.
+            return base
+        else:
+            return None
+        return ".".join([root, *reversed(chain)])

@@ -1,0 +1,92 @@
+"""Float-safety rule (DHS301).
+
+Estimator code is numerically delicate: PCSA/super-LogLog bias constants,
+Ertl-style corrections, harmonic means. Exact ``==``/``!=`` between float
+expressions is almost always a latent bug there — the comparison silently
+changes outcome with evaluation order, vectorization, or a constant port.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from tools.analyze.engine import FileContext, Rule, Violation, register
+from tools.analyze.rules._imports import ImportTable
+
+#: Calls whose results are float-valued for our purposes.
+_FLOAT_CALLS = frozenset(
+    {
+        "float",
+        "math.log",
+        "math.log2",
+        "math.log10",
+        "math.log1p",
+        "math.exp",
+        "math.expm1",
+        "math.sqrt",
+        "math.pow",
+        "math.ldexp",
+        "math.fsum",
+        "math.hypot",
+        "math.gamma",
+        "math.erf",
+    }
+)
+
+
+def _is_floatish(node: ast.expr, table: ImportTable) -> bool:
+    """Conservatively: is this expression obviously float-valued?"""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, table)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, table) or _is_floatish(node.right, table)
+    if isinstance(node, ast.Call):
+        origin = table.resolve(node.func)
+        return origin in _FLOAT_CALLS
+    return False
+
+
+@register
+class FloatEquality(Rule):
+    """DHS301 — exact ``==``/``!=`` on float expressions in estimator code."""
+
+    code = "DHS301"
+    name = "float-equality"
+    rationale = (
+        "Exact float equality in `sketches`/`core`/`histograms` breaks "
+        "under re-ordering, vectorized twins, and constant ports (e.g. "
+        "Ertl's HLL corrections). Compare with `math.isclose` or an "
+        "explicit tolerance; suppress inline only where exact equality is "
+        "the *specified* behaviour (e.g. a sentinel 0.0)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if ctx.module is not None:
+            prefixes = ctx.config.float_strict
+            if not any(
+                ctx.module == p or ctx.module.startswith(p + ".") for p in prefixes
+            ):
+                return []
+        table = ImportTable(ctx.tree)
+        out: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left, table) or _is_floatish(right, table):
+                    out.append(
+                        self.violation(
+                            ctx, node, "exact float equality; use math.isclose "
+                            "or an explicit tolerance"
+                        )
+                    )
+                    break
+        return out

@@ -1,0 +1,224 @@
+"""Generic hygiene rules (DHS4xx).
+
+Not DHS-specific, but each has bitten estimator codebases: shared mutable
+defaults alias sketch state across instances, broad excepts swallow the
+library's own :class:`~repro.errors.ReproError` hierarchy, and a stale
+``__all__`` silently changes what ``import *`` and the docs expose.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Sequence, Set
+
+from tools.analyze.engine import FileContext, Rule, Violation, register
+from tools.analyze.rules._imports import ImportTable
+
+_MUTABLE_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.deque",
+        "collections.OrderedDict",
+        "collections.Counter",
+    }
+)
+
+
+def _is_mutable_default(node: ast.expr, table: ImportTable) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return table.resolve(node.func) in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefault(Rule):
+    """DHS401 — mutable default argument."""
+
+    code = "DHS401"
+    name = "mutable-default"
+    rationale = (
+        "A mutable default is evaluated once and shared by every call — "
+        "for sketch/overlay classes that means state aliased across "
+        "instances. Default to None and construct inside the function."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        table = ImportTable(ctx.tree)
+        out: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: List[Optional[ast.expr]] = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and _is_mutable_default(default, table):
+                    out.append(
+                        self.violation(
+                            ctx, default, "mutable default argument is shared across "
+                            "calls; default to None and build it in the body"
+                        )
+                    )
+        return out
+
+
+@register
+class BroadExcept(Rule):
+    """DHS402 — bare or overly broad exception handler."""
+
+    code = "DHS402"
+    name = "broad-except"
+    rationale = (
+        "`except:` / `except Exception` swallows ReproError subclasses "
+        "that carry real diagnostics (ConfigurationError, "
+        "EmptyOverlayError, ...) and masks genuine bugs as 'expected' "
+        "failures. Catch the narrowest type; a handler that re-raises is "
+        "exempt."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        out: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if any(isinstance(child, ast.Raise) for child in ast.walk(node)):
+                continue  # re-raising handlers are deliberate
+            label = "bare `except:`" if broad == "" else f"`except {broad}:`"
+            out.append(
+                self.violation(
+                    ctx, node, f"{label} swallows the ReproError hierarchy; "
+                    "catch the narrowest exception type"
+                )
+            )
+        return out
+
+    @staticmethod
+    def _broad_name(type_node: Optional[ast.expr]) -> Optional[str]:
+        """'' for bare except, the name for Exception/BaseException, else None."""
+        if type_node is None:
+            return ""
+        candidates: Sequence[ast.expr]
+        candidates = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name) and candidate.id in (
+                "Exception",
+                "BaseException",
+            ):
+                return candidate.id
+        return None
+
+
+@register
+class AllDrift(Rule):
+    """DHS403 — ``__all__`` out of sync with the module's public names."""
+
+    code = "DHS403"
+    name = "all-drift"
+    rationale = (
+        "`__all__` is the API contract the docs and `import *` rely on. "
+        "Names listed but not defined raise at `import *` time; public "
+        "functions/classes defined but unlisted drift out of the "
+        "documented surface unnoticed."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        dunder_all = self._find_all(ctx.tree)
+        if dunder_all is None:
+            return []
+        all_node, exported = dunder_all
+        defined = self._defined_names(ctx.tree)
+        out: List[Violation] = []
+        for name in exported:
+            if name not in defined:
+                out.append(
+                    self.violation(
+                        ctx, all_node, f"`__all__` lists '{name}' which is not "
+                        "defined in the module"
+                    )
+                )
+        public = self._public_defs(ctx.tree)
+        for node, name in public:
+            if name not in exported:
+                out.append(
+                    self.violation(
+                        ctx, node, f"public name '{name}' is missing from `__all__` "
+                        "(export it or prefix with '_')"
+                    )
+                )
+        return out
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[tuple]:
+        for stmt in tree.body:
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "__all__"
+                and isinstance(value, (ast.List, ast.Tuple))
+            ):
+                names = [
+                    elt.value
+                    for elt in value.elts
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                ]
+                return stmt, names
+        return None
+
+    @staticmethod
+    def _defined_names(tree: ast.Module) -> Set[str]:
+        """Names bound at module level (descending into if/try/with blocks)."""
+        defined: Set[str] = set()
+
+        def collect(statements: Iterable[ast.stmt]) -> None:
+            for stmt in statements:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    defined.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        for name in ast.walk(target):
+                            if isinstance(name, ast.Name):
+                                defined.add(name.id)
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                    defined.add(stmt.target.id)
+                elif isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        defined.add(alias.asname or alias.name.split(".")[0])
+                elif isinstance(stmt, ast.ImportFrom):
+                    for alias in stmt.names:
+                        defined.add(alias.asname or alias.name)
+                elif isinstance(stmt, ast.If):
+                    collect(stmt.body)
+                    collect(stmt.orelse)
+                elif isinstance(stmt, ast.Try):
+                    collect(stmt.body)
+                    collect(stmt.orelse)
+                    collect(stmt.finalbody)
+                    for handler in stmt.handlers:
+                        collect(handler.body)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    collect(stmt.body)
+
+        collect(tree.body)
+        return defined
+
+    @staticmethod
+    def _public_defs(tree: ast.Module) -> List[tuple]:
+        """Public functions/classes defined directly at module top level."""
+        return [
+            (stmt, stmt.name)
+            for stmt in tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not stmt.name.startswith("_")
+        ]

@@ -5,13 +5,19 @@ Usage:  python tools/make_report.py [results_dir] [output_path]
 Collects every ``benchmarks/results/*.txt`` produced by a
 ``pytest benchmarks/ --benchmark-only`` run into a single markdown file
 with a small table of contents — handy for attaching a full reproduction
-run to an issue or a paper-review response.
+run to an issue or a paper-review response.  A dhslint summary (rule
+counts, suppressions) is appended so the static-analysis trend is visible
+alongside the measured numbers.
 """
 
 from __future__ import annotations
 
 import pathlib
 import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
 #: Presentation order (anything not listed is appended alphabetically).
 PREFERRED_ORDER = [
@@ -33,6 +39,36 @@ PREFERRED_ORDER = [
     "ablation_bitshift",
     "overlay_agnosticism",
 ]
+
+
+def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
+    """Markdown lines summarizing a dhslint run over ``source_dir``."""
+    from tools.analyze import analyze_paths, load_config
+
+    config = load_config(source_dir)
+    report = analyze_paths([source_dir], config)
+    try:
+        shown = source_dir.resolve().relative_to(_REPO_ROOT)
+    except ValueError:
+        shown = source_dir
+    lines = [
+        "## static_analysis",
+        "",
+        f"`python -m tools.analyze {shown}` — "
+        f"{len(report.violations)} violation(s), {report.suppressed} "
+        f"suppression(s), {report.files} file(s) checked.",
+        "",
+    ]
+    if report.counts_by_code:
+        lines.append("| rule | violations |")
+        lines.append("|---|---|")
+        for code, count in report.counts_by_code.items():
+            lines.append(f"| {code} | {count} |")
+        lines.append("")
+        for violation in report.violations:
+            lines.append(f"- `{violation.render()}`")
+        lines.append("")
+    return lines
 
 
 def build_report(results_dir: pathlib.Path) -> str:
@@ -57,6 +93,7 @@ def build_report(results_dir: pathlib.Path) -> str:
     ]
     for name in ordered:
         lines.append(f"- [{name}](#{name.replace('_', '-')})")
+    lines.append("- [static_analysis](#static-analysis)")
     lines.append("")
     for name in ordered:
         lines.append(f"## {name}")
@@ -65,6 +102,9 @@ def build_report(results_dir: pathlib.Path) -> str:
         lines.append(available[name].read_text().rstrip())
         lines.append("```")
         lines.append("")
+    source_dir = results_dir.parent.parent / "src" / "repro"
+    if source_dir.is_dir():
+        lines.extend(dhslint_summary(source_dir))
     return "\n".join(lines)
 
 
