@@ -1,0 +1,65 @@
+"""Compare a perf run against a committed baseline (CI regression gate).
+
+Usage::
+
+    python benchmarks/perf/check.py --baseline benchmarks/perf/baseline_smoke.json \
+                                    --current BENCH_perf.json [--max-regression 3.0]
+
+For every benchmark present in *both* files, the current ``ops_per_sec``
+must be at least ``baseline / max_regression``.  The generous default
+factor (3x) absorbs hardware differences between the machine that
+committed the baseline and the CI runner while still catching real
+hot-path regressions (which are typically 5-30x when a fast path stops
+being taken).  Exits non-zero on any regression or on an empty
+intersection of benchmark names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=pathlib.Path, required=True)
+    parser.add_argument("--current", type=pathlib.Path, required=True)
+    parser.add_argument("--max-regression", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())["benchmarks"]
+    current = json.loads(args.current.read_text())["benchmarks"]
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        print("perf-check: no shared benchmarks between baseline and current")
+        return 1
+
+    failures = []
+    width = max(len(name) for name in shared)
+    for name in shared:
+        base_ops = float(baseline[name]["ops_per_sec"])
+        cur_ops = float(current[name]["ops_per_sec"])
+        ratio = base_ops / cur_ops if cur_ops > 0 else float("inf")
+        verdict = "ok"
+        if ratio > args.max_regression:
+            verdict = f"REGRESSION ({ratio:.1f}x slower)"
+            failures.append(name)
+        print(
+            f"  {name:<{width}}  baseline {base_ops:>14,.1f}  "
+            f"current {cur_ops:>14,.1f}  {verdict}"
+        )
+    if failures:
+        print(
+            f"perf-check: {len(failures)} benchmark(s) regressed more than "
+            f"{args.max_regression}x: {', '.join(failures)}"
+        )
+        return 1
+    print(f"perf-check: {len(shared)} benchmark(s) within {args.max_regression}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,228 @@
+"""Tracked performance microbenchmarks (see docs/PERFORMANCE.md).
+
+Usage::
+
+    python benchmarks/perf/run.py [--preset smoke|default|full]
+                                  [--json BENCH_perf.json]
+
+Measures wall-clock throughput and per-op hop counts of the three DHS
+hot paths — overlay lookups, bulk insertion, and distributed counting —
+and writes a machine-readable JSON trajectory (``BENCH_perf.json`` at
+the repo root by default).  CI runs the ``smoke`` preset on every push
+and fails if any microbenchmark regresses more than 3x against the
+committed ``baseline_smoke.json`` (see ``check.py``).
+
+Every entry carries a canonical ``ops_per_sec`` so the regression check
+and the report renderer need no per-benchmark knowledge; insert
+benchmarks count one op per *item*, count benchmarks one op per
+distributed count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict, List
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+_SRC = _REPO_ROOT / "src"
+for path in (str(_SRC), str(_REPO_ROOT)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import numpy as np  # noqa: E402
+
+from repro.core.config import DHSConfig  # noqa: E402
+from repro.core.dhs import DistributedHashSketch  # noqa: E402
+from repro.overlay.chord import ChordRing  # noqa: E402
+from repro.sim.seeds import rng_for  # noqa: E402
+
+#: Benchmark sizes per preset.  ``smoke`` must finish well under 60 s on
+#: a cold CI runner; ``default`` is the committed BENCH_perf.json run;
+#: ``full`` approaches the ROADMAP's scalability targets.
+PRESETS: Dict[str, Dict[str, Any]] = {
+    "smoke": {
+        "lookup": [{"n_nodes": 256, "ops": 2000}],
+        "insert": [{"n_nodes": 128, "array_items": 100_000, "scalar_items": 10_000}],
+        "count": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
+    },
+    "default": {
+        "lookup": [{"n_nodes": 1024, "ops": 20_000}, {"n_nodes": 4096, "ops": 10_000}],
+        "insert": [
+            {"n_nodes": 1024, "array_items": 1_000_000, "scalar_items": 200_000},
+        ],
+        "count": [
+            {"n_nodes": 256, "m": 128, "items": 100_000, "counts": 8},
+            {"n_nodes": 1024, "m": 512, "items": 200_000, "counts": 4},
+        ],
+    },
+    "full": {
+        "lookup": [
+            {"n_nodes": 1024, "ops": 50_000},
+            {"n_nodes": 16384, "ops": 20_000},
+        ],
+        "insert": [
+            {"n_nodes": 1024, "array_items": 10_000_000, "scalar_items": 500_000},
+            {"n_nodes": 8192, "array_items": 10_000_000, "scalar_items": 200_000},
+        ],
+        "count": [
+            {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 8},
+            {"n_nodes": 4096, "m": 1024, "items": 1_000_000, "counts": 4},
+        ],
+    },
+}
+
+SEED = 2006  # ICDE 2006 — fixed so runs are workload-identical.
+
+
+def bench_lookup(n_nodes: int, ops: int, finger_cache: bool = True) -> Dict[str, Any]:
+    """Random-key, random-origin lookup throughput on an idle ring."""
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED, finger_cache=finger_cache)
+    rng = rng_for(SEED, "perf-lookup", n_nodes)
+    ids = list(ring.node_ids())
+    keys = [rng.randrange(2**64) for _ in range(ops)]
+    origins = [ids[rng.randrange(len(ids))] for _ in range(ops)]
+    # Warm the finger memo with a small prefix so the steady-state rate
+    # is measured (cold-cache cost is amortized across a real workload).
+    for key, origin in zip(keys[:200], origins[:200]):
+        ring.lookup(key, origin=origin)
+    hops = 0
+    start = time.perf_counter()
+    for key, origin in zip(keys, origins):
+        hops += ring.lookup(key, origin=origin).cost.hops
+    seconds = time.perf_counter() - start
+    return {
+        "ops": ops,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(ops / seconds, 1),
+        "hops_per_op": round(hops / ops, 3),
+    }
+
+
+def bench_insert(
+    n_nodes: int, items: int, vectorized: bool, m: int = 512
+) -> Dict[str, Any]:
+    """Bulk-insertion throughput (one metric, one origin node)."""
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    dhs = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=m, key_bits=24), seed=SEED
+    )
+    ids = np.arange(items, dtype=np.int64)
+    origin = list(ring.node_ids())[0]
+    start = time.perf_counter()
+    if vectorized:
+        cost = dhs.insert_array("perf", ids, origin=origin)
+    else:
+        cost = dhs.insert_bulk("perf", (int(item) for item in ids), origin=origin)
+    seconds = time.perf_counter() - start
+    return {
+        "ops": items,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(items / seconds, 1),
+        "hops_per_op": round(cost.hops / items, 6),
+        "total_hops": cost.hops,
+    }
+
+
+def bench_count(
+    n_nodes: int, m: int, items: int, counts: int
+) -> Dict[str, Any]:
+    """Distributed-count latency on a populated ring."""
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    dhs = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=m, key_bits=24), seed=SEED
+    )
+    dhs.insert_array("perf", np.arange(items, dtype=np.int64))
+    rng = rng_for(SEED, "perf-count", n_nodes, m)
+    origins = [ring.random_live_node(rng) for _ in range(counts)]
+    hops = 0
+    start = time.perf_counter()
+    for origin in origins:
+        hops += dhs.count("perf", origin=origin).cost.hops
+    seconds = time.perf_counter() - start
+    return {
+        "ops": counts,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(counts / seconds, 2),
+        "hops_per_op": round(hops / counts, 1),
+        "seconds_per_count": round(seconds / counts, 4),
+    }
+
+
+def run_suite(preset: str) -> Dict[str, Any]:
+    sizes = PRESETS[preset]
+    benchmarks: Dict[str, Dict[str, Any]] = {}
+
+    for spec in sizes["lookup"]:
+        name = f"lookup/n{spec['n_nodes']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_lookup(spec["n_nodes"], spec["ops"])
+        uncached = f"lookup_uncached/n{spec['n_nodes']}"
+        print(f"[perf] {uncached} ...", flush=True)
+        benchmarks[uncached] = bench_lookup(
+            spec["n_nodes"], max(spec["ops"] // 4, 500), finger_cache=False
+        )
+
+    for spec in sizes["insert"]:
+        n_nodes = spec["n_nodes"]
+        array_name = f"bulk_insert_array/n{n_nodes}_items{spec['array_items']}"
+        print(f"[perf] {array_name} ...", flush=True)
+        benchmarks[array_name] = bench_insert(
+            n_nodes, spec["array_items"], vectorized=True
+        )
+        scalar_name = f"bulk_insert_scalar/n{n_nodes}_items{spec['scalar_items']}"
+        print(f"[perf] {scalar_name} ...", flush=True)
+        benchmarks[scalar_name] = bench_insert(
+            n_nodes, spec["scalar_items"], vectorized=False
+        )
+        benchmarks[array_name]["speedup_vs_scalar"] = round(
+            benchmarks[array_name]["ops_per_sec"]
+            / benchmarks[scalar_name]["ops_per_sec"],
+            2,
+        )
+
+    for spec in sizes["count"]:
+        name = f"count/n{spec['n_nodes']}_m{spec['m']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_count(
+            spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
+        )
+
+    return {
+        "schema": 1,
+        "preset": preset,
+        "seed": SEED,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": benchmarks,
+    }
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="default")
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=_REPO_ROOT / "BENCH_perf.json",
+        help="output path (default: BENCH_perf.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    report = run_suite(args.preset)
+    args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"[perf] wrote {args.json}")
+    width = max(len(name) for name in report["benchmarks"])
+    for name, entry in report["benchmarks"].items():
+        print(
+            f"  {name:<{width}}  {entry['ops_per_sec']:>14,.1f} ops/s"
+            f"  {entry['hops_per_op']:>10.3f} hops/op"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

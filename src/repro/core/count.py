@@ -336,5 +336,6 @@ class Counter:
             target = next_target
             cost.hops += 1
             cost.messages += 1
-            cost.nodes_visited.append(target)
+            if self.dht.trace:
+                cost.nodes_visited.append(target)
         return found

@@ -16,10 +16,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
 
+import numpy as np
+import numpy.typing as npt
+
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
 from repro.core.tuples import write_entry
 from repro.hashing.family import HashFamily
+from repro.hashing.vectorized import observations_np
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.node import Node
 from repro.overlay.replication import replicate_to_successors
@@ -89,7 +93,12 @@ class Inserter:
         origin: Optional[int] = None,
         now: int = 0,
     ) -> OpCost:
-        """Insert items one at a time (one DHT store each)."""
+        """Insert items one at a time (at most one DHT store each).
+
+        Items whose position falls below the configured ``bit_shift``
+        are assumed set (section 3.5): they store nothing and contribute
+        zero cost, so the per-item store count is *at most* one.
+        """
         total = OpCost()
         for item in items:
             total.add(self.insert(metric_id, item, origin=origin, now=now))
@@ -124,6 +133,85 @@ class Inserter:
             total.add(
                 self._write_tuples(index, list(tuple_set), origin=origin, now=now)
             )
+        return total
+
+    def insert_array(
+        self,
+        metric_id: Hashable,
+        item_ids: npt.NDArray[np.int64],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Vectorized :meth:`insert_bulk` over an array of item ids.
+
+        Hashes the whole array once with
+        :func:`repro.hashing.vectorized.observations_np` (bit-for-bit
+        identical to the scalar :meth:`observation` path — tests assert
+        exact agreement), groups the distinct ``(vector, position)``
+        observations by id-space interval with ``np.unique``, and sends
+        each interval's tuples through the same :meth:`_write_tuples`
+        path as the scalar bulk inserter.  Given the same items, seed
+        and overlay state it performs the same stores, draws the same
+        random target keys, and returns an equal
+        :class:`~repro.overlay.stats.OpCost`.
+
+        ``item_ids`` must be non-negative integers (the library's
+        workload convention).  Non-``mixer`` hash families have no
+        vectorized twin and fall back to the scalar path.
+        """
+        ids = np.ascontiguousarray(item_ids, dtype=np.int64)
+        if self.config.hash_family_name != "mixer":
+            return self.insert_bulk(
+                metric_id, (int(item) for item in ids), origin=origin, now=now
+            )
+        vectors, positions = observations_np(
+            ids, self.config.num_bitmaps, self.config.key_bits,
+            seed=self.config.hash_seed,
+        )
+        return self.insert_observation_arrays(
+            metric_id, vectors, positions, origin=origin, now=now
+        )
+
+    def insert_observation_arrays(
+        self,
+        metric_id: Hashable,
+        vectors: npt.NDArray[np.int64],
+        positions: npt.NDArray[np.int64],
+        origin: Optional[int] = None,
+        now: int = 0,
+    ) -> OpCost:
+        """Bulk-insert pre-computed observation *arrays* (numpy twin of
+        :meth:`insert_observations`; same clamping, grouping and store
+        order, so the two paths are byte- and cost-identical)."""
+        config = self.config
+        positions = np.minimum(
+            np.asarray(positions, dtype=np.int64), config.position_bits - 1
+        )
+        vectors = np.asarray(vectors, dtype=np.int64)
+        if config.bit_shift > 0:
+            stored = positions >= config.bit_shift
+            positions = positions[stored]
+            vectors = vectors[stored]
+        if positions.size == 0:
+            return OpCost()
+        m = config.num_bitmaps
+        # One integer per (position, vector) pair; np.unique both dedups
+        # and sorts, and ascending position is ascending interval index —
+        # the same store order as the scalar path's sorted() grouping.
+        combined = np.unique(positions * m + vectors)
+        unique_positions = combined // m
+        unique_vectors = combined - unique_positions * m
+        segment_positions, starts = np.unique(unique_positions, return_index=True)
+        bounds = np.append(starts, combined.size)
+        total = OpCost()
+        for segment, position in enumerate(segment_positions.tolist()):
+            index = self.mapping.interval_index(position)
+            lo, hi = int(bounds[segment]), int(bounds[segment + 1])
+            tuples: List[Tuple[Hashable, int, int]] = [
+                (metric_id, vector, position)
+                for vector in unique_vectors[lo:hi].tolist()
+            ]
+            total.add(self._write_tuples(index, tuples, origin=origin, now=now))
         return total
 
     def insert_observations(

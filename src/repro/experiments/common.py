@@ -92,10 +92,10 @@ def populate_metric(
     assignment = assign_uniform(len(item_ids), node_ids, seed=derive_seed(seed, "owners"))
     total = OpCost()
     for node_id, indices in assignment.items():
-        observations = zip(vectors[indices].tolist(), positions[indices].tolist())
         total.add(
-            dhs._inserter.insert_observations(
-                metric_id, observations, origin=node_id, now=now
+            dhs._inserter.insert_observation_arrays(
+                metric_id, vectors[indices], positions[indices],
+                origin=node_id, now=now,
             )
         )
     return total

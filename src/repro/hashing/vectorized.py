@@ -35,6 +35,19 @@ def mix_with_seed_np(x: npt.NDArray[np.uint64], seed: int) -> npt.NDArray[np.uin
     return splitmix64_np(splitmix64_np(x.astype(_U64) ^ seed_mixed))
 
 
+def _popcount64(x: npt.NDArray[np.uint64]) -> npt.NDArray[np.int64]:
+    """Per-element population count of a uint64 array."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(x).astype(np.int64)
+    # SWAR fallback for numpy < 2.0 (exact for all 64-bit values).
+    x = x - ((x >> _U64(1)) & _U64(0x5555555555555555))
+    x = (x & _U64(0x3333333333333333)) + ((x >> _U64(2)) & _U64(0x3333333333333333))
+    x = (x + (x >> _U64(4))) & _U64(0x0F0F0F0F0F0F0F0F)
+    with np.errstate(over="ignore"):
+        x = (x * _U64(0x0101010101010101)).astype(_U64)
+    return (x >> _U64(56)).astype(np.int64)
+
+
 def observations_np(
     item_ids: npt.NDArray[np.int64],
     m: int,
@@ -44,24 +57,36 @@ def observations_np(
     """``(vector, position)`` arrays matching the scalar sketch path.
 
     ``item_ids`` must be non-negative integers (the library's workload
-    item ids).  Positions are clamped to ``position_bits - 1`` exactly
-    like :meth:`repro.sketches.base.HashSketch.add_key`.
+    item ids).  ``m`` must be a positive power of two and ``key_bits``
+    must exceed ``log2(m)`` — the same contract
+    :class:`repro.sketches.base.HashSketch` enforces (the ``m - 1``
+    bucket mask and the ``log2(m)``-bit shift are wrong otherwise).
+    Positions are clamped to ``position_bits - 1`` exactly like
+    :meth:`repro.sketches.base.HashSketch.add_key`.
     """
+    if m < 1 or m & (m - 1):
+        raise ValueError(f"m must be a positive power of two, got {m}")
+    c = m.bit_length() - 1
+    if key_bits <= c:
+        raise ValueError(
+            f"key_bits ({key_bits}) must exceed log2(m) ({c}) to leave "
+            "room for the position bits"
+        )
     if np.any(np.asarray(item_ids) < 0):
         raise ValueError("vectorized hashing requires non-negative item ids")
-    c = m.bit_length() - 1
     position_bits = key_bits - c
     hashed = mix_with_seed_np(np.asarray(item_ids, dtype=np.int64).astype(_U64), seed)
     truncated = hashed & _U64((1 << key_bits) - 1)
     vectors = (truncated & _U64(m - 1)).astype(np.int64)
     rest = (truncated >> _U64(c)).astype(_U64)
-    # rho via the lowest-set-bit trick; exact because the isolated bit is
-    # a power of two (log2 is exact on those in float64).
+    # rho: isolate the lowest set bit, then its index is the popcount of
+    # (bit - 1) — integer-exact, no float round-trip.  ``rest == 0``
+    # (the all-zero suffix) encodes rho = position_bits.
     lowest = rest & (-rest.astype(np.int64)).astype(_U64)
     positions = np.where(
         rest == 0,
         np.int64(position_bits),
-        np.log2(np.maximum(lowest, _U64(1)).astype(np.float64)).astype(np.int64),
+        _popcount64(np.maximum(lowest, _U64(1)) - _U64(1)),
     )
     positions = np.minimum(positions, position_bits - 1)
     return vectors, positions

@@ -3,16 +3,22 @@
 A node with id ``n`` is responsible for the keys in ``(pred(n), n]``.
 Routing is the classic iterative walk: each step jumps to the closest
 finger preceding the key, where finger ``i`` of node ``n`` is
-``successor(n + 2^i)``.  Fingers are computed on demand from the live
-membership, modelling an ideally-stabilized ring — the same idealization
-the paper's evaluation makes — so hop counts land at the expected
-``~0.5 * log2 N`` without simulating stabilization chatter.
+``successor(n + 2^i)``.  Fingers model an ideally-stabilized ring — the
+same idealization the paper's evaluation makes — so hop counts land at
+the expected ``~0.5 * log2 N`` without simulating stabilization chatter.
+
+Hot-path engineering (see docs/PERFORMANCE.md): fingers are *memoized*
+per node and invalidated incrementally on membership changes, so a
+routed hop costs O(1) dictionary work instead of up to ``L`` bisects.
+The memo is exact — an invalidation-correctness property test asserts
+hop-for-hop agreement with the uncached on-demand computation
+(``finger_cache=False``) under arbitrary join/leave/crash interleavings.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, EmptyOverlayError
 from repro.overlay.dht import DHTProtocol, LookupResult
@@ -22,18 +28,55 @@ from repro.sim.seeds import rng_for
 
 __all__ = ["ChordRing"]
 
+#: Bound on the memoized ``owner_of`` results; when full the cache is
+#: reset wholesale (it is an optimization cache — correctness never
+#: depends on its contents).
+_OWNER_CACHE_MAX = 1 << 16
+
 
 class ChordRing(DHTProtocol):
-    """An N-node Chord overlay over an ``L``-bit id space."""
+    """An N-node Chord overlay over an ``L``-bit id space.
 
-    def __init__(self, space: IdSpace) -> None:
-        super().__init__(space)
+    Parameters
+    ----------
+    space:
+        The identifier space.
+    trace:
+        When true, lookups record the full ``nodes_visited`` path in
+        their :class:`~repro.overlay.stats.OpCost` (off by default —
+        the counters are kept either way).
+    finger_cache:
+        When false, fingers are recomputed from the live membership on
+        every use (the seed behaviour; kept for equivalence testing).
+    """
+
+    def __init__(
+        self,
+        space: IdSpace,
+        trace: bool = False,
+        finger_cache: bool = True,
+    ) -> None:
+        super().__init__(space, trace=trace)
+        self._finger_cache_enabled = finger_cache
+        #: node id -> per-exponent memoized finger values (None = stale).
+        self._fingers: Dict[int, List[Optional[int]]] = {}
+        #: finger value -> {(node, i)} entries currently memoized to it.
+        self._finger_rev: Dict[int, Set[Tuple[int, int]]] = {}
+        #: key -> owner memo; cleared on any membership change.
+        self._owner_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers.
     # ------------------------------------------------------------------
     @classmethod
-    def build(cls, n_nodes: int, bits: int = 64, seed: int = 0) -> "ChordRing":
+    def build(
+        cls,
+        n_nodes: int,
+        bits: int = 64,
+        seed: int = 0,
+        trace: bool = False,
+        finger_cache: bool = True,
+    ) -> "ChordRing":
         """Create a ring of ``n_nodes`` with pseudo-random ids."""
         if n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -42,7 +85,7 @@ class ChordRing(DHTProtocol):
             raise ConfigurationError(
                 f"cannot place {n_nodes} nodes in a {bits}-bit id space"
             )
-        ring = cls(space)
+        ring = cls(space, trace=trace, finger_cache=finger_cache)
         rng = rng_for(seed, "chord-ids")
         seen: set[int] = set()
         while len(seen) < n_nodes:
@@ -53,9 +96,15 @@ class ChordRing(DHTProtocol):
         return ring
 
     @classmethod
-    def from_ids(cls, node_ids: Iterable[int], bits: int = 64) -> "ChordRing":
+    def from_ids(
+        cls,
+        node_ids: Iterable[int],
+        bits: int = 64,
+        trace: bool = False,
+        finger_cache: bool = True,
+    ) -> "ChordRing":
         """Create a ring from explicit node ids (tests, edge cases)."""
-        ring = cls(IdSpace(bits))
+        ring = cls(IdSpace(bits), trace=trace, finger_cache=finger_cache)
         for node_id in node_ids:
             ring.add_node(node_id)
         if ring.size == 0:
@@ -67,25 +116,116 @@ class ChordRing(DHTProtocol):
     # ------------------------------------------------------------------
     def owner_of(self, key: int) -> int:
         """``successor(key)``: the first live node at or after ``key``."""
-        if not self._ids:
+        ids = self._ids
+        if not ids:
             raise EmptyOverlayError("overlay has no live nodes")
         key = self.space.wrap(key)
-        index = bisect.bisect_left(self._ids, key)
-        return self._ids[index % len(self._ids)]
+        cache = self._owner_cache
+        owner = cache.get(key)
+        if owner is not None:
+            return owner
+        index = bisect.bisect_left(ids, key)
+        owner = ids[index % len(ids)]
+        if len(cache) >= _OWNER_CACHE_MAX:
+            cache.clear()
+        cache[key] = owner
+        return owner
 
     def finger(self, node_id: int, i: int) -> int:
-        """Finger ``i`` of ``node_id``: ``successor(node_id + 2^i)``."""
-        return self.owner_of(self.space.wrap(node_id + (1 << i)))
+        """Finger ``i`` of ``node_id``: ``successor(node_id + 2^i)``.
+
+        With the cache enabled the value is memoized per ``(node, i)``
+        and invalidated incrementally when membership changes could
+        affect it; stale entries fall back to the on-demand computation.
+        """
+        if not self._finger_cache_enabled:
+            return self.owner_of(self.space.wrap(node_id + (1 << i)))
+        table = self._fingers.get(node_id)
+        if table is None:
+            table = self._fingers[node_id] = [None] * self.space.bits
+        value = table[i]
+        if value is None:
+            value = self.owner_of(self.space.wrap(node_id + (1 << i)))
+            table[i] = value
+            self._finger_rev.setdefault(value, set()).add((node_id, i))
+        return value
+
+    # ------------------------------------------------------------------
+    # Cache maintenance (membership-change hooks).
+    # ------------------------------------------------------------------
+    def _on_join(self, node_id: int) -> None:
+        """Invalidate routing memos a join at ``node_id`` may stale.
+
+        A memoized finger ``successor(start)`` changes only if the new
+        node slots between ``start`` and the old successor — and that
+        old successor is exactly ``successor(node_id)`` after the join.
+        Dropping every entry memoized to that one node is a small,
+        conservative superset of the affected entries.
+        """
+        self._owner_cache.clear()
+        if len(self._ids) < 2:
+            return
+        heir = self.successor_id(node_id)
+        self._invalidate_entries_pointing_at(heir)
+
+    def _on_leave(self, node_id: int) -> None:
+        """Drop routing memos referencing the departed ``node_id``."""
+        self._owner_cache.clear()
+        # Entries of other nodes that resolved to the departed node.
+        self._invalidate_entries_pointing_at(node_id)
+        # The departed node's own finger table.
+        table = self._fingers.pop(node_id, None)
+        if table is not None:
+            for i, value in enumerate(table):
+                if value is not None:
+                    entries = self._finger_rev.get(value)
+                    if entries is not None:
+                        entries.discard((node_id, i))
+                        if not entries:
+                            del self._finger_rev[value]
+
+    def _invalidate_entries_pointing_at(self, value: int) -> None:
+        entries = self._finger_rev.pop(value, None)
+        if entries is None:
+            return
+        fingers = self._fingers
+        for node_id, i in entries:
+            table = fingers.get(node_id)
+            if table is not None:
+                table[i] = None
 
     def _closest_preceding(self, current: int, key: int) -> Optional[int]:
-        """Best finger of ``current`` strictly inside ``(current, key)``."""
-        distance = self.space.distance(current, key)
+        """Best finger of ``current`` strictly inside ``(current, key)``.
+
+        This is the innermost routing loop: the id-space arithmetic
+        (``wrap``/``distance``/``in_open``) is inlined as mask-and-
+        compare operations and the finger memo is indexed directly, so
+        probing a finger costs no Python function call.
+        """
+        size_mask = self.space.size - 1
+        distance = (key - current) & size_mask
         if distance <= 1:
             return None
+        if not self._finger_cache_enabled:
+            # Seed behaviour: recompute each finger from the membership.
+            for i in range((distance - 1).bit_length() - 1, -1, -1):
+                candidate = self.owner_of((current + (1 << i)) & size_mask)
+                if 0 < ((candidate - current) & size_mask) < distance:
+                    return candidate
+            return None
+        table = self._fingers.get(current)
+        if table is None:
+            table = self._fingers[current] = [None] * self.space.bits
         # Largest finger that cannot overshoot starts at 2^i <= distance-1.
         for i in range((distance - 1).bit_length() - 1, -1, -1):
-            candidate = self.finger(current, i)
-            if self.space.in_open(candidate, current, key):
+            candidate = table[i]
+            if candidate is None:
+                candidate = self.owner_of((current + (1 << i)) & size_mask)
+                table[i] = candidate
+                self._finger_rev.setdefault(candidate, set()).add((current, i))
+            # Inlined in_open(candidate, current, key); current != key
+            # because distance > 1.
+            if 0 < ((candidate - current) & size_mask) < distance:
                 return candidate
         return None
 
@@ -102,15 +242,23 @@ class ChordRing(DHTProtocol):
         if origin is None:
             origin = self._ids[0]
         current = origin
-        cost = OpCost(nodes_visited=[origin], lookups=1)
+        trace = self.trace
+        cost = OpCost(nodes_visited=[origin] if trace else [], lookups=1)
         self.load.record(origin)
+        destination = self.owner_of(key)
         while True:
-            destination = self.owner_of(key)
             if not self.is_alive(destination):
-                # Timed-out contact: pay the probe, evict, re-resolve.
-                cost.hops += 1
-                cost.messages += 1
-                self.repair(destination)
+                # Timed-out contact with the owner: pay the probe, evict
+                # it, and walk its successor list — evicting every
+                # consecutive dead heir — before resuming the route.
+                # Without the walk, a dead owner whose first successor
+                # is also dead would be re-resolved (and re-probed) one
+                # eviction per loop iteration.
+                while not self.is_alive(destination):
+                    cost.hops += 1
+                    cost.messages += 1
+                    self.repair(destination)
+                    destination = self.owner_of(key)
                 continue
             if current == destination:
                 break
@@ -122,11 +270,13 @@ class ChordRing(DHTProtocol):
                 cost.hops += 1
                 cost.messages += 1
                 self.repair(nxt)
+                destination = self.owner_of(key)
                 continue
             current = nxt
             cost.hops += 1
             cost.messages += 1
-            cost.nodes_visited.append(current)
+            if trace:
+                cost.nodes_visited.append(current)
             self.load.record(current)
             if cost.hops > 2 * self.space.bits + len(self._ids):
                 raise RuntimeError("routing failed to converge; ring corrupt?")

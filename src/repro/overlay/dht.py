@@ -42,10 +42,16 @@ class DHTProtocol(ABC):
     how a lookup is routed hop by hop.
     """
 
-    def __init__(self, space: IdSpace) -> None:
+    def __init__(self, space: IdSpace, trace: bool = False) -> None:
         self.space = space
         self._nodes: dict[int, Node] = {}
         self._ids: List[int] = []  # sorted ids of live nodes
+        #: Whether operations record per-hop ``nodes_visited`` lists.
+        #: Off by default: the counters (hops/messages/bytes) are always
+        #: kept, but the per-hop list append in the innermost routing
+        #: loop is skipped unless a caller opts in (path-inspection
+        #: tests, equivalence checks).
+        self.trace = trace
         #: Per-node access counter (routing + storage + probes).
         self.load = LoadTracker()
         #: Optional application hook merging two store values for the same
@@ -84,6 +90,7 @@ class DHTProtocol(ABC):
         node = Node(node_id)
         self._nodes[node_id] = node
         self._insert_sorted(node_id)
+        self._on_join(node_id)
         return node
 
     def remove_node(self, node_id: int, graceful: bool = True) -> None:
@@ -98,6 +105,7 @@ class DHTProtocol(ABC):
         node = self.node(node_id)
         self._delete_sorted(node_id)
         del self._nodes[node_id]
+        self._on_leave(node_id)
         node.alive = False
         if graceful and self._ids:
             heir = self.node(self.successor_id(node_id))
@@ -145,6 +153,15 @@ class DHTProtocol(ABC):
         if index >= len(self._ids) or self._ids[index] != node_id:
             raise NodeNotFoundError(node_id)
         del self._ids[index]
+
+    # ------------------------------------------------------------------
+    # Membership-change hooks (for derived routing-state caches).
+    # ------------------------------------------------------------------
+    def _on_join(self, node_id: int) -> None:
+        """Called after ``node_id`` joined the sorted membership."""
+
+    def _on_leave(self, node_id: int) -> None:
+        """Called after ``node_id`` left the sorted membership."""
 
     # ------------------------------------------------------------------
     # Geometry.

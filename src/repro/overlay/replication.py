@@ -51,5 +51,6 @@ def replicate_to_successors(
         cost.hops += 1
         cost.messages += 1
         cost.bytes += payload_bytes
-        cost.nodes_visited.append(replica)
+        if dht.trace:
+            cost.nodes_visited.append(replica)
     return cost

@@ -19,7 +19,13 @@ __all__ = ["OpCost", "LoadTracker"]
 
 @dataclass
 class OpCost:
-    """Hop/byte/visit tally of one (or many summed) overlay operations."""
+    """Hop/byte/visit tally of one (or many summed) overlay operations.
+
+    ``nodes_visited`` holds the per-hop path only when the overlay was
+    constructed with ``trace=True`` — by default the scalar counters
+    (hops/messages/bytes/lookups) are maintained without allocating a
+    list entry per routing hop (see docs/PERFORMANCE.md).
+    """
 
     hops: int = 0
     bytes: float = 0.0

@@ -1,0 +1,175 @@
+"""``insert_array`` is an exact twin of the scalar bulk path.
+
+The vectorized inserter must be *indistinguishable* from
+``insert_bulk`` given the same items, seed and overlay: same stored
+tuples on the same nodes, same random target keys (hence the same
+``OpCost``, hop for hop).  These tests pin that equivalence, the md4
+fallback, and the zero-cost contract for positions below ``bit_shift``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.overlay.chord import ChordRing
+from repro.overlay.stats import OpCost
+
+
+def make_dhs(n_nodes=64, bits=32, key_bits=16, m=16, trace=False, **kwargs):
+    ring = ChordRing.build(n_nodes, bits=bits, seed=3, trace=trace)
+    config = DHSConfig(key_bits=key_bits, num_bitmaps=m, **kwargs)
+    return DistributedHashSketch(ring, config, seed=1)
+
+
+def stored_state(dhs):
+    """Full logical store of the deployment: node -> sorted entry keys."""
+    state = {}
+    for node_id in dhs.dht.node_ids():
+        node = dhs.dht.node(node_id)
+        if node.store:
+            state[node_id] = sorted(
+                (key, sorted(slot)) for key, slot in node.store.items()
+            )
+    return state
+
+
+def assert_costs_equal(a: OpCost, b: OpCost):
+    assert a.hops == b.hops
+    assert a.messages == b.messages
+    assert a.bytes == b.bytes
+    assert a.lookups == b.lookups
+    assert a.nodes_visited == b.nodes_visited
+
+
+class TestArrayVsBulk:
+    @pytest.mark.parametrize("kwargs", [{}, {"bit_shift": 3}, {"replication": 2}])
+    def test_exact_equality(self, kwargs):
+        scalar = make_dhs(trace=True, **kwargs)
+        vectorized = make_dhs(trace=True, **kwargs)
+        items = list(range(2000)) + list(range(500))  # duplicates included
+        origin = scalar.dht.node_ids()[0]
+        cost_scalar = scalar.insert_bulk("docs", items, origin=origin)
+        cost_array = vectorized.insert_array(
+            "docs", np.array(items, dtype=np.int64), origin=origin
+        )
+        assert_costs_equal(cost_scalar, cost_array)
+        assert stored_state(scalar) == stored_state(vectorized)
+
+    def test_equality_holds_across_repeated_batches(self):
+        """The shared RNG stays in lockstep batch after batch."""
+        scalar = make_dhs()
+        vectorized = make_dhs()
+        for batch in range(5):
+            items = list(range(batch * 300, batch * 300 + 300))
+            cost_scalar = scalar.insert_bulk("docs", items)
+            cost_array = vectorized.insert_array(
+                "docs", np.array(items, dtype=np.int64)
+            )
+            assert_costs_equal(cost_scalar, cost_array)
+        assert stored_state(scalar) == stored_state(vectorized)
+
+    def test_facade_delegates(self):
+        dhs = make_dhs()
+        cost = dhs.insert_array("docs", np.arange(100, dtype=np.int64))
+        assert cost.lookups > 0
+
+    def test_accepts_python_list(self):
+        scalar = make_dhs()
+        vectorized = make_dhs()
+        cost_scalar = scalar.insert_bulk("docs", range(250))
+        cost_array = vectorized.insert_array("docs", list(range(250)))
+        assert_costs_equal(cost_scalar, cost_array)
+
+    def test_empty_array(self):
+        dhs = make_dhs()
+        cost = dhs.insert_array("docs", np.array([], dtype=np.int64))
+        assert cost.hops == 0
+        assert cost.lookups == 0
+
+    def test_md4_falls_back_to_scalar_path(self):
+        scalar = make_dhs(hash_family_name="md4")
+        vectorized = make_dhs(hash_family_name="md4")
+        items = list(range(300))
+        cost_scalar = scalar.insert_bulk("docs", items)
+        cost_array = vectorized.insert_array(
+            "docs", np.array(items, dtype=np.int64)
+        )
+        assert_costs_equal(cost_scalar, cost_array)
+        assert stored_state(scalar) == stored_state(vectorized)
+
+
+class TestObservationArrays:
+    def test_matches_insert_observations(self):
+        scalar = make_dhs(bit_shift=2)
+        vectorized = make_dhs(bit_shift=2)
+        rng = np.random.default_rng(7)
+        vectors = rng.integers(0, 16, size=1500)
+        positions = rng.integers(0, 14, size=1500)
+        cost_scalar = scalar._inserter.insert_observations(
+            "docs", zip(vectors.tolist(), positions.tolist())
+        )
+        cost_array = vectorized._inserter.insert_observation_arrays(
+            "docs", vectors, positions
+        )
+        assert_costs_equal(cost_scalar, cost_array)
+        assert stored_state(scalar) == stored_state(vectorized)
+
+    def test_clamps_overlong_positions(self):
+        scalar = make_dhs()
+        vectorized = make_dhs()
+        position_bits = scalar.config.position_bits
+        pairs = [(1, position_bits + 40), (2, position_bits - 1), (1, 0)]
+        cost_scalar = scalar._inserter.insert_observations("docs", pairs)
+        cost_array = vectorized._inserter.insert_observation_arrays(
+            "docs",
+            np.array([v for v, _ in pairs], dtype=np.int64),
+            np.array([p for _, p in pairs], dtype=np.int64),
+        )
+        assert_costs_equal(cost_scalar, cost_array)
+        assert stored_state(scalar) == stored_state(vectorized)
+
+    def test_all_below_bit_shift_is_free(self):
+        dhs = make_dhs(bit_shift=6)
+        cost = dhs._inserter.insert_observation_arrays(
+            "docs",
+            np.array([0, 1, 2], dtype=np.int64),
+            np.array([0, 3, 5], dtype=np.int64),
+        )
+        assert cost.hops == 0
+        assert cost.lookups == 0
+        assert stored_state(dhs) == {}
+
+
+class TestBitShiftZeroCost:
+    """Positions below ``bit_shift`` are assumed set: they must store
+    nothing and contribute exactly zero cost (section 3.5) — the
+    ``insert_many`` docstring's "at most one DHT store each" contract."""
+
+    def _low_position_items(self, dhs, shift, want=20):
+        items = []
+        for item in range(20_000):
+            _, position = dhs._inserter.observation(item)
+            if position < shift:
+                items.append(item)
+                if len(items) == want:
+                    return items
+        pytest.fail("not enough low-position items found")
+
+    def test_insert_is_free_below_shift(self):
+        dhs = make_dhs(bit_shift=8)
+        for item in self._low_position_items(dhs, 8):
+            cost = dhs.insert("docs", item)
+            assert cost.hops == 0
+            assert cost.messages == 0
+            assert cost.bytes == 0
+            assert cost.lookups == 0
+        assert stored_state(dhs) == {}
+
+    def test_insert_many_is_free_below_shift(self):
+        dhs = make_dhs(bit_shift=8)
+        items = self._low_position_items(dhs, 8)
+        cost = dhs._inserter.insert_many("docs", items)
+        assert cost.hops == 0
+        assert cost.lookups == 0
+        assert stored_state(dhs) == {}

@@ -7,7 +7,12 @@ from hypothesis import strategies as st
 
 from repro.hashing.family import MixerHash
 from repro.hashing.mixers import mix_with_seed, splitmix64
-from repro.hashing.vectorized import mix_with_seed_np, observations_np, splitmix64_np
+from repro.hashing.vectorized import (
+    _popcount64,
+    mix_with_seed_np,
+    observations_np,
+    splitmix64_np,
+)
 from repro.sketches.base import HashSketch, split_key
 from repro.sketches.loglog import SuperLogLogSketch
 
@@ -59,8 +64,55 @@ class TestObservations:
         with pytest.raises(ValueError):
             observations_np(np.array([-1]), 16, 24)
 
+    @pytest.mark.parametrize("m", [0, -4, 3, 6, 12, 100, 1000])
+    def test_rejects_non_power_of_two_m(self, m):
+        """Same contract as the scalar HashSketch: m must be 2^c > 0."""
+        with pytest.raises(ValueError, match="power of two"):
+            observations_np(np.arange(10, dtype=np.int64), m, 24)
+
+    @pytest.mark.parametrize("m,key_bits", [(16, 4), (16, 3), (512, 9), (2, 1)])
+    def test_rejects_key_bits_not_exceeding_log2_m(self, m, key_bits):
+        with pytest.raises(ValueError, match="key_bits"):
+            observations_np(np.arange(10, dtype=np.int64), m, key_bits)
+
     def test_positions_clamped(self):
         ids = np.arange(0, 100_000, dtype=np.int64)
         _, positions = observations_np(ids, 16, 16, seed=0)
         assert positions.max() <= 16 - 4 - 1
         assert positions.min() >= 0
+
+
+class TestPopcount:
+    EDGE_VALUES = [0, 1, 2, 3, 2**32 - 1, 2**63, 2**64 - 1, 0x5555555555555555]
+
+    def _assert_exact(self, values):
+        xs = np.array(values, dtype=np.uint64)
+        got = _popcount64(xs)
+        assert got.dtype == np.int64
+        for x, count in zip(values, got.tolist()):
+            assert count == int(x).bit_count()
+
+    def test_matches_int_bit_count(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 2**63, size=5000, dtype=np.int64).astype(np.uint64)
+        self._assert_exact([int(v) for v in values] + self.EDGE_VALUES)
+
+    def test_swar_fallback_exact(self, monkeypatch):
+        """Force the numpy<2.0 SWAR branch and re-check exactness."""
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        assert not hasattr(np, "bitwise_count")
+        rng = np.random.default_rng(12)
+        values = [int(v) for v in rng.integers(0, 2**64, size=2000, dtype=np.uint64)]
+        self._assert_exact(values + self.EDGE_VALUES)
+
+    def test_swar_fallback_rho_path(self, monkeypatch):
+        """observations_np stays scalar-exact without np.bitwise_count."""
+        monkeypatch.delattr(np, "bitwise_count", raising=False)
+        ids = np.arange(0, 2000, dtype=np.int64)
+        vectors, positions = observations_np(ids, 64, 24, seed=9)
+        family = MixerHash(bits=64, seed=9)
+        position_bits = 24 - 6
+        for i in range(0, 2000, 53):
+            vector, position = split_key(family(int(ids[i])), 64, 24)
+            assert vectors[i] == vector
+            assert positions[i] == min(position, position_bits - 1)

@@ -137,11 +137,19 @@ class TestRouting:
 
         assert mean_hops(64) < mean_hops(1024)
 
-    def test_path_nodes_are_live(self, ring):
+    def test_path_nodes_are_live(self):
+        ring = ChordRing.build(256, bits=32, seed=11, trace=True)
         rng = rng_for(6, "path")
         result = ring.lookup(rng.randrange(2**32), origin=ring.random_live_node(rng))
+        assert result.cost.nodes_visited  # trace=True records the path
         for node_id in result.cost.nodes_visited:
             assert ring.has_node(node_id)
+
+    def test_untraced_lookup_keeps_counters_only(self, ring):
+        rng = rng_for(6, "path-untraced")
+        result = ring.lookup(rng.randrange(2**32), origin=ring.random_live_node(rng))
+        assert result.cost.nodes_visited == []
+        assert result.cost.hops > 0
 
     def test_two_node_ring(self):
         ring = ChordRing.from_ids([10, 200], bits=8)

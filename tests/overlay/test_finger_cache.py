@@ -1,0 +1,184 @@
+"""The memoized finger/owner caches must be invisible to routing.
+
+The cache is exact: every lookup on a cached ring must be hop-for-hop
+identical (result, hops, messages, visited path) to the same lookup on
+a ring that recomputes fingers from the live membership on every probe
+— across arbitrary interleavings of joins, graceful leaves, crashes,
+lazy failures and repair-triggering lookups.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.chord import ChordRing
+from repro.sim.seeds import rng_for
+
+
+def _ring_pair(ids, bits=16):
+    """The same membership with and without the finger cache."""
+    cached = ChordRing.from_ids(sorted(ids), bits=bits, trace=True)
+    uncached = ChordRing.from_ids(
+        sorted(ids), bits=bits, trace=True, finger_cache=False
+    )
+    return cached, uncached
+
+
+def _assert_lookup_identical(cached, uncached, key, origin):
+    a = cached.lookup(key, origin=origin)
+    b = uncached.lookup(key, origin=origin)
+    assert a.node_id == b.node_id
+    assert a.cost.hops == b.cost.hops
+    assert a.cost.messages == b.cost.messages
+    assert a.cost.nodes_visited == b.cost.nodes_visited
+
+
+class TestFingerMemo:
+    def test_finger_matches_definition_and_memoizes(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(0, 5) == 64  # successor(0 + 32) = 64
+        assert ring._fingers[0][5] == 64
+        assert (0, 5) in ring._finger_rev[64]
+        assert ring.finger(0, 5) == 64  # served from the memo
+
+    def test_join_invalidates_covering_finger(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(0, 5) == 64
+        ring.add_node(40)  # slots inside [32, 64): successor(32) changes
+        assert ring.finger(0, 5) == 40
+
+    def test_join_outside_start_arc_keeps_entry_fresh(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(0, 5) == 64
+        ring.add_node(100)  # in (64, 128): cannot affect successor(32)
+        assert ring.finger(0, 5) == 64
+
+    def test_leave_invalidates_entries_pointing_at_departed(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(0, 5) == 64
+        ring.remove_node(64)
+        assert ring.finger(0, 5) == 128
+        assert 64 not in ring._finger_rev
+
+    def test_leave_drops_departed_nodes_own_table(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        assert ring.finger(64, 5) == 128  # successor(96)
+        ring.remove_node(64)
+        assert 64 not in ring._fingers
+        assert (64, 5) not in ring._finger_rev.get(128, set())
+
+    def test_owner_cache_tracks_membership(self):
+        ring = ChordRing.from_ids([10, 50, 200], bits=8)
+        assert ring.owner_of(30) == 50
+        ring.add_node(40)
+        assert ring.owner_of(30) == 40
+        ring.remove_node(40)
+        assert ring.owner_of(30) == 50
+        ring.remove_node(50)
+        assert ring.owner_of(30) == 200
+
+    def test_uncached_mode_has_no_memo_state(self):
+        ring = ChordRing.from_ids([0, 64, 128], bits=8, finger_cache=False)
+        rng = rng_for(1, "uncached")
+        for _ in range(50):
+            ring.lookup(rng.randrange(256), origin=0)
+        assert ring._fingers == {}
+
+
+class TestRoutingEquivalence:
+    def test_static_ring_equivalent(self):
+        cached, uncached = _ring_pair(range(0, 2**16, 397))
+        rng = rng_for(2, "static")
+        for _ in range(300):
+            key = rng.randrange(2**16)
+            origin = cached.random_live_node(rng)
+            _assert_lookup_identical(cached, uncached, key, origin)
+
+    def test_equivalent_through_churn(self):
+        cached, uncached = _ring_pair(range(0, 2**16, 811))
+        rng = rng_for(3, "churn")
+        for step in range(120):
+            roll = rng.random()
+            if roll < 0.2:
+                candidate = rng.randrange(2**16)
+                if not cached.has_node(candidate):
+                    cached.add_node(candidate)
+                    uncached.add_node(candidate)
+            elif roll < 0.4 and cached.size > 4:
+                victim = rng.choice(list(cached.node_ids()))
+                graceful = rng.random() < 0.5
+                cached.remove_node(victim, graceful=graceful)
+                uncached.remove_node(victim, graceful=graceful)
+            key = rng.randrange(2**16)
+            origin = cached.random_live_node(rng)
+            _assert_lookup_identical(cached, uncached, key, origin)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_property_equivalent_under_interleavings(self, data):
+        """Joins, leaves, crashes, lazy failures and repair-triggering
+        lookups interleaved at random: the cached ring never diverges."""
+        ids = data.draw(
+            st.sets(st.integers(0, 2**12 - 1), min_size=6, max_size=24)
+        )
+        cached, uncached = _ring_pair(ids, bits=12)
+        steps = data.draw(st.integers(min_value=3, max_value=15))
+        for _ in range(steps):
+            op = data.draw(
+                st.sampled_from(["join", "leave", "crash", "lazy", "lookup"])
+            )
+            live = [n for n in cached.node_ids() if cached.is_alive(n)]
+            if op == "join":
+                candidate = data.draw(st.integers(0, 2**12 - 1))
+                if not cached.has_node(candidate):
+                    cached.add_node(candidate)
+                    uncached.add_node(candidate)
+            elif op in ("leave", "crash") and cached.size > 3:
+                victim = data.draw(st.sampled_from(sorted(cached.node_ids())))
+                cached.remove_node(victim, graceful=op == "leave")
+                uncached.remove_node(victim, graceful=op == "leave")
+            elif op == "lazy" and len(live) > 2:
+                victim = data.draw(st.sampled_from(sorted(live)))
+                cached.mark_failed(victim)
+                uncached.mark_failed(victim)
+                live.remove(victim)
+            if not live:
+                continue
+            key = data.draw(st.integers(0, 2**12 - 1))
+            origin = data.draw(st.sampled_from(sorted(live)))
+            if cached.is_alive(origin):
+                _assert_lookup_identical(cached, uncached, key, origin)
+
+
+class TestDeadOwnerEviction:
+    def test_dead_owner_and_dead_first_successor(self):
+        """Regression: when the key's owner *and* its first successor
+        are both (lazily) dead, one lookup walks the successor list,
+        evicts both, and resolves to the next live node."""
+        ring = ChordRing.from_ids([10, 50, 60, 200], bits=8)
+        assert ring.owner_of(40) == 50
+        ring.mark_failed(50)
+        ring.mark_failed(60)
+        result = ring.lookup(40, origin=10)
+        assert result.node_id == 200
+        assert not ring.has_node(50)  # evicted
+        assert not ring.has_node(60)  # evicted via the successor walk
+        assert result.cost.hops >= 2  # one timeout probe per eviction
+
+    def test_eviction_chain_matches_uncached(self):
+        cached, uncached = _ring_pair([10, 50, 60, 70, 200], bits=8)
+        for ring in (cached, uncached):
+            ring.mark_failed(50)
+            ring.mark_failed(60)
+            ring.mark_failed(70)
+        _assert_lookup_identical(cached, uncached, 40, 10)
+        assert list(cached.node_ids()) == list(uncached.node_ids())
+
+    def test_all_dead_raises_cleanly(self):
+        from repro.errors import EmptyOverlayError
+
+        ring = ChordRing.from_ids([10, 50], bits=8)
+        ring.mark_failed(10)
+        ring.mark_failed(50)
+        with pytest.raises(EmptyOverlayError):
+            ring.lookup(40, origin=10)

@@ -5,13 +5,16 @@ Usage:  python tools/make_report.py [results_dir] [output_path]
 Collects every ``benchmarks/results/*.txt`` produced by a
 ``pytest benchmarks/ --benchmark-only`` run into a single markdown file
 with a small table of contents — handy for attaching a full reproduction
-run to an issue or a paper-review response.  A dhslint summary (rule
-counts, suppressions) is appended so the static-analysis trend is visible
-alongside the measured numbers.
+run to an issue or a paper-review response.  A perf-microbenchmark table
+(from the repo-root ``BENCH_perf.json`` trajectory, when present) and a
+dhslint summary (rule counts, suppressions) are appended so the hot-path
+throughput and static-analysis trends are visible alongside the measured
+numbers.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 import sys
 
@@ -39,6 +42,41 @@ PREFERRED_ORDER = [
     "ablation_bitshift",
     "overlay_agnosticism",
 ]
+
+
+def perf_summary(bench_path: pathlib.Path) -> list[str]:
+    """Markdown lines rendering the ``BENCH_perf.json`` trajectory.
+
+    Returns an empty list when the file is absent (perf tracking is
+    optional for partial checkouts); see benchmarks/perf/run.py for the
+    file's schema and docs/PERFORMANCE.md for how to read it.
+    """
+    if not bench_path.is_file():
+        return []
+    report = json.loads(bench_path.read_text())
+    benchmarks = report.get("benchmarks", {})
+    if not benchmarks:
+        return []
+    lines = [
+        "## perf_microbenchmarks",
+        "",
+        f"`python benchmarks/perf/run.py --preset {report.get('preset', '?')}` "
+        f"(python {report.get('python', '?')}, seed {report.get('seed', '?')}) — "
+        "see docs/PERFORMANCE.md.",
+        "",
+        "| benchmark | ops/sec | hops/op | seconds |",
+        "|---|---:|---:|---:|",
+    ]
+    for name in sorted(benchmarks):
+        entry = benchmarks[name]
+        speedup = entry.get("speedup_vs_scalar")
+        suffix = f" ({speedup}x vs scalar)" if speedup is not None else ""
+        lines.append(
+            f"| {name}{suffix} | {entry['ops_per_sec']:,.1f} "
+            f"| {entry['hops_per_op']:.3f} | {entry['seconds']:.3f} |"
+        )
+    lines.append("")
+    return lines
 
 
 def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
@@ -91,8 +129,12 @@ def build_report(results_dir: pathlib.Path) -> str:
         "## Contents",
         "",
     ]
+    repo_root = results_dir.parent.parent
+    perf_lines = perf_summary(repo_root / "BENCH_perf.json")
     for name in ordered:
         lines.append(f"- [{name}](#{name.replace('_', '-')})")
+    if perf_lines:
+        lines.append("- [perf_microbenchmarks](#perf-microbenchmarks)")
     lines.append("- [static_analysis](#static-analysis)")
     lines.append("")
     for name in ordered:
@@ -102,7 +144,8 @@ def build_report(results_dir: pathlib.Path) -> str:
         lines.append(available[name].read_text().rstrip())
         lines.append("```")
         lines.append("")
-    source_dir = results_dir.parent.parent / "src" / "repro"
+    lines.extend(perf_lines)
+    source_dir = repo_root / "src" / "repro"
     if source_dir.is_dir():
         lines.extend(dhslint_summary(source_dir))
     return "\n".join(lines)
