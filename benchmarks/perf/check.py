@@ -12,6 +12,12 @@ committed the baseline and the CI runner while still catching real
 hot-path regressions (which are typically 5-30x when a fast path stops
 being taken).  Exits non-zero on any regression or on an empty
 intersection of benchmark names.
+
+``parallel_scaling/*`` entries additionally carry an
+``identical_to_serial`` flag (the harness's determinism contract: any
+worker count reproduces the serial rows bit for bit).  A false flag in
+the *current* run fails the check outright — that is a correctness bug,
+not a performance regression, so no tolerance factor applies.
 """
 
 from __future__ import annotations
@@ -35,6 +41,18 @@ def main(argv: List[str]) -> int:
     shared = sorted(set(baseline) & set(current))
     if not shared:
         print("perf-check: no shared benchmarks between baseline and current")
+        return 1
+
+    diverged = [
+        name
+        for name, entry in sorted(current.items())
+        if entry.get("identical_to_serial") is False
+    ]
+    if diverged:
+        print(
+            "perf-check: parallel runs diverged from serial results: "
+            + ", ".join(diverged)
+        )
         return 1
 
     failures = []

@@ -49,6 +49,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "lookup": [{"n_nodes": 256, "ops": 2000}],
         "insert": [{"n_nodes": 128, "array_items": 100_000, "scalar_items": 10_000}],
         "count": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
+        "parallel": {
+            "jobs": [1, 2],
+            "sweep": {"ms": (32, 64), "n_nodes": 32, "scale": 2e-4, "trials": 1},
+        },
     },
     "default": {
         "lookup": [{"n_nodes": 1024, "ops": 20_000}, {"n_nodes": 4096, "ops": 10_000}],
@@ -59,6 +63,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
             {"n_nodes": 256, "m": 128, "items": 100_000, "counts": 8},
             {"n_nodes": 1024, "m": 512, "items": 200_000, "counts": 4},
         ],
+        "parallel": {
+            "jobs": [1, 2, 4, 8],
+            "sweep": {"ms": (64, 128, 256), "n_nodes": 64, "scale": 2e-3, "trials": 2},
+        },
     },
     "full": {
         "lookup": [
@@ -73,6 +81,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
             {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 8},
             {"n_nodes": 4096, "m": 1024, "items": 1_000_000, "counts": 4},
         ],
+        "parallel": {
+            "jobs": [1, 2, 4, 8],
+            "sweep": {"ms": (64, 128, 256, 512), "n_nodes": 128, "scale": 1e-2, "trials": 2},
+        },
     },
 }
 
@@ -153,6 +165,39 @@ def bench_count(
     }
 
 
+def bench_parallel(jobs_list: List[int], sweep: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Accuracy-sweep wall-clock at several ``DHS_JOBS`` widths.
+
+    Every width must reproduce the serial (jobs=1) rows exactly — the
+    harness's determinism contract — so each entry carries an
+    ``identical_to_serial`` flag that ``check.py`` turns into a hard
+    failure.  Speedups only show up on multi-core runners; on one core
+    the flag still verifies the contract.
+    """
+    from repro.experiments.accuracy import run_accuracy_sweep
+
+    entries: Dict[str, Dict[str, Any]] = {}
+    serial_rows = None
+    # Size goes in the name (like count/n256_m128) so entries from
+    # different presets never collide in the regression check.
+    size = f"n{sweep['n_nodes']}_m{max(sweep['ms'])}"
+    for jobs in jobs_list:
+        start = time.perf_counter()
+        rows = run_accuracy_sweep(seed=SEED, jobs=jobs, **sweep)
+        seconds = time.perf_counter() - start
+        if serial_rows is None:
+            serial_rows = rows
+        cells = len(sweep["ms"]) * 2  # (m, hash_seed) grid with 2 default seeds
+        entries[f"parallel_scaling/{size}/jobs{jobs}"] = {
+            "ops": cells,
+            "seconds": round(seconds, 4),
+            "ops_per_sec": round(cells / seconds, 3),
+            "jobs": jobs,
+            "identical_to_serial": rows == serial_rows,
+        }
+    return entries
+
+
 def run_suite(preset: str) -> Dict[str, Any]:
     sizes = PRESETS[preset]
     benchmarks: Dict[str, Dict[str, Any]] = {}
@@ -192,6 +237,11 @@ def run_suite(preset: str) -> Dict[str, Any]:
             spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
         )
 
+    parallel = sizes.get("parallel")
+    if parallel is not None:
+        print(f"[perf] parallel_scaling (jobs {parallel['jobs']}) ...", flush=True)
+        benchmarks.update(bench_parallel(parallel["jobs"], dict(parallel["sweep"])))
+
     return {
         "schema": 1,
         "preset": preset,
@@ -217,10 +267,12 @@ def main(argv: List[str]) -> int:
     print(f"[perf] wrote {args.json}")
     width = max(len(name) for name in report["benchmarks"])
     for name, entry in report["benchmarks"].items():
-        print(
-            f"  {name:<{width}}  {entry['ops_per_sec']:>14,.1f} ops/s"
-            f"  {entry['hops_per_op']:>10.3f} hops/op"
-        )
+        line = f"  {name:<{width}}  {entry['ops_per_sec']:>14,.1f} ops/s"
+        if "hops_per_op" in entry:
+            line += f"  {entry['hops_per_op']:>10.3f} hops/op"
+        if "identical_to_serial" in entry:
+            line += "  bit-identical" if entry["identical_to_serial"] else "  DIVERGED"
+        print(line)
     return 0
 
 

@@ -17,7 +17,7 @@ the paper's point: a fixed small node set "does not solve the problem".
 
 from __future__ import annotations
 
-from typing import Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Set, cast
 
 from repro.baselines.base import BaselineResult, Scenario
 from repro.hashing.family import HashFamily, default_hash_family
@@ -56,7 +56,12 @@ class SingleNodeCounter:
         """Record one item occurrence (routed to the counter node)."""
 
         def write(node: Node) -> None:
-            slot = node.store.setdefault(("counter", self.counter_id), {"n": 0, "set": set()})
+            slot = cast(
+                Dict[str, Any],
+                node.store.setdefault(
+                    ("counter", self.counter_id), {"n": 0, "set": set()}
+                ),
+            )
             if self.distinct:
                 slot["set"].add(item)
             else:
@@ -97,9 +102,10 @@ class SingleNodeCounter:
 
     def counter_storage_entries(self) -> int:
         """Items stored at the counter node (O(n) for distinct mode)."""
-        slot = self.dht.node(self.counter_node).store.get(("counter", self.counter_id))
-        if slot is None:
+        raw = self.dht.node(self.counter_node).store.get(("counter", self.counter_id))
+        if raw is None:
             return 0
+        slot = cast(Dict[str, Any], raw)
         return len(slot["set"]) if self.distinct else 1
 
 
@@ -139,8 +145,9 @@ class PartitionedCounter:
         index = self.hash_family(item) % self.partitions
 
         def write(node: Node) -> None:
-            slot = node.store.setdefault(
-                ("partition", self.counter_id, index), set()
+            slot = cast(
+                Set[Hashable],
+                node.store.setdefault(("partition", self.counter_id, index), set()),
             )
             slot.add(item)
 

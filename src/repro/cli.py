@@ -52,6 +52,7 @@ def _run_table2(args: argparse.Namespace) -> str:
         kwargs["scale"] = args.scale
     if args.nodes is not None:
         kwargs["n_nodes"] = args.nodes
+    kwargs["jobs"] = args.jobs
     rows = run_table2(**kwargs)
     return format_table2(rows, args.scale if args.scale is not None else 2e-2)
 
@@ -62,6 +63,7 @@ def _run_table3(args: argparse.Namespace) -> str:
         kwargs["scale"] = args.scale
     if args.nodes is not None:
         kwargs["n_nodes"] = args.nodes
+    kwargs["jobs"] = args.jobs
     rows = run_table3(**kwargs)
     return format_table3(rows, args.scale if args.scale is not None else 1e-2)
 
@@ -79,6 +81,7 @@ def _run_scalability(args: argparse.Namespace) -> str:
     kwargs = {"seed": args.seed}
     if args.scale is not None:
         kwargs["scale"] = args.scale
+    kwargs["jobs"] = args.jobs
     return format_scalability(run_scalability(**kwargs))
 
 
@@ -88,11 +91,14 @@ def _run_accuracy(args: argparse.Namespace) -> str:
         kwargs["scale"] = args.scale
     if args.nodes is not None:
         kwargs["n_nodes"] = args.nodes
+    kwargs["jobs"] = args.jobs
     return format_accuracy(run_accuracy_sweep(**kwargs))
 
 
 def _run_histogram_accuracy(args: argparse.Namespace) -> str:
-    return format_histogram_accuracy(run_histogram_accuracy(seed=args.seed))
+    return format_histogram_accuracy(
+        run_histogram_accuracy(seed=args.seed, jobs=args.jobs)
+    )
 
 
 def _run_histogram_types(args: argparse.Namespace) -> str:
@@ -112,6 +118,7 @@ def _run_baselines(args: argparse.Namespace) -> str:
     kwargs = {"seed": args.seed}
     if args.nodes is not None:
         kwargs["n_nodes"] = args.nodes
+    kwargs["jobs"] = args.jobs
     return format_baselines(run_baseline_comparison(**kwargs))
 
 
@@ -120,23 +127,25 @@ def _run_multidim(args: argparse.Namespace) -> str:
 
 
 def _run_churn(args: argparse.Namespace) -> str:
-    return format_churn(run_churn_experiment(seed=args.seed))
+    return format_churn(run_churn_experiment(seed=args.seed, jobs=args.jobs))
 
 
 def _run_robustness(args: argparse.Namespace) -> str:
-    return format_robustness(run_failure_robustness(seed=args.seed))
+    return format_robustness(
+        run_failure_robustness(seed=args.seed, jobs=args.jobs)
+    )
 
 
 def _run_ablations(args: argparse.Namespace) -> str:
     parts = [
         format_ablation("Retry budget ablation (section 4.1)", "nodes visited",
-                        run_lim_ablation(seed=args.seed)),
+                        run_lim_ablation(seed=args.seed, jobs=args.jobs)),
         format_ablation("Replication under crashes (section 3.5)", "hops/insert",
-                        run_replication_ablation(seed=args.seed)),
+                        run_replication_ablation(seed=args.seed, jobs=args.jobs)),
         format_ablation("Bit-shift mapping ablation (section 3.5)", "insert kB",
-                        run_bitshift_ablation(seed=args.seed)),
+                        run_bitshift_ablation(seed=args.seed, jobs=args.jobs)),
         format_ablation("DHS over Chord vs Kademlia", "nodes visited",
-                        run_overlay_comparison(seed=args.seed)),
+                        run_overlay_comparison(seed=args.seed, jobs=args.jobs)),
     ]
     return "\n\n".join(parts)
 
@@ -176,6 +185,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--nodes", type=int, default=None, help="overlay size override"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for trial grids (default: $DHS_JOBS or 1); "
+        "results are bit-identical at any width",
     )
     parser.add_argument(
         "--output", type=str, default=None,

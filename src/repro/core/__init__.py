@@ -15,10 +15,13 @@ from repro.core.retries import (
 )
 from repro.core.tuples import (
     DHSTuple,
+    PackedSlot,
+    bits_of,
     merge_store_values,
     purge_expired,
     storage_entries,
     vectors_at,
+    vectors_mask,
     write_entry,
 )
 
@@ -38,9 +41,12 @@ __all__ = [
     "prob_all_probes_empty",
     "success_probability",
     "DHSTuple",
+    "PackedSlot",
+    "bits_of",
     "merge_store_values",
     "purge_expired",
     "storage_entries",
     "vectors_at",
+    "vectors_mask",
     "write_entry",
 ]

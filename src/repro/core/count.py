@@ -17,6 +17,14 @@ math to the centralized estimators.  Probing any node yields the bit's
 status for *all* bitmaps of *all* requested metrics at once, which is why
 hop counts are independent of ``m`` and of the number of metrics
 (sections 4.2/4.3) while byte counts are not.
+
+Hot path: the per-metric bookkeeping (pending / active / found vectors)
+is kept as packed integer bitmaps throughout, so a probe answers "which
+of these pending vectors are set here?" with one ``int &`` per metric
+against the node's :class:`~repro.core.tuples.PackedSlot` mask.  The
+per-interval random probe keys are drawn up front (one pass over the
+counting RNG per scan), and per-probe node-id recording is gated behind
+``dht.trace`` — the ``probes``/``unique_probed`` counters stay exact.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
 from repro.core.retries import lim_with_replication
-from repro.core.tuples import vectors_at
+from repro.core.tuples import vectors_mask
 from repro.hashing.family import HashFamily
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.stats import OpCost
@@ -48,15 +56,19 @@ class CountResult:
     sketches: Dict[Hashable, HashSketch]
     cost: OpCost
     #: Total node probes performed (the paper's "nodes visited" is
-    #: ``cost.unique_probed``-style: unique probed nodes).
+    #: ``unique_probed``: distinct probed nodes).
     probes: int = 0
+    #: Distinct probed node ids, maintained incrementally on every probe.
+    probed_ids: Set[int] = field(default_factory=set)
+    #: Full probe sequence — only recorded when ``dht.trace`` is on
+    #: (mirrors ``OpCost.nodes_visited``); empty otherwise.
     probed_nodes: List[int] = field(default_factory=list)
     intervals_scanned: int = 0
 
     @property
     def unique_probed(self) -> int:
         """Distinct nodes probed (the paper's "nodes visited" column)."""
-        return len(set(self.probed_nodes))
+        return len(self.probed_ids)
 
     def estimate(self) -> float:
         """The single estimate (raises unless exactly one metric)."""
@@ -147,14 +159,27 @@ class Counter:
         }
         adaptive = self.config.lim_policy == "eq6" and not force_fixed
         prior = expected_items if adaptive else None
+        # One probe key per interval, drawn up front: a single pass over
+        # the counting RNG per scan, independent of which intervals the
+        # scan actually reaches before resolving.
+        keys = self._interval_keys()
         if self.config.estimator in _DOWNWARD_ESTIMATORS:
-            result = self._scan_downward(sketches, origin, now, prior)
+            result = self._scan_downward(sketches, origin, now, keys, prior)
         else:
-            result = self._scan_upward(sketches, origin, now, prior)
+            result = self._scan_upward(sketches, origin, now, keys, prior)
         result.estimates = {
             metric: sketch.estimate() for metric, sketch in sketches.items()
         }
         return result
+
+    def _interval_keys(self) -> List[int]:
+        """Random probe key for every interval (ascending interval order)."""
+        mapping = self.mapping
+        rng = self._rng
+        return [
+            mapping.random_key_in_interval(index, rng)
+            for index in range(mapping.num_intervals)
+        ]
 
     # ------------------------------------------------------------------
     # Per-interval probe budget (fixed lim, or eq. 6 from a prior).
@@ -185,31 +210,30 @@ class Counter:
         sketches: Dict[Hashable, HashSketch],
         origin: int,
         now: int,
+        keys: Sequence[int],
         expected_items: Optional[float] = None,
     ) -> CountResult:
         config = self.config
-        all_vectors = range(config.num_bitmaps)
-        pending: Dict[Hashable, Set[int]] = {
-            metric: set(all_vectors) for metric in sketches
-        }
+        full = (1 << config.num_bitmaps) - 1
+        pending: Dict[Hashable, int] = {metric: full for metric in sketches}
         result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
         for index in reversed(range(self.mapping.num_intervals)):
             if not any(pending.values()):
                 break
             position = self.mapping.position_for_index(index)
             found = self._probe_interval(
-                index, position, pending, origin, now, result, expected_items
+                index, position, pending, origin, now, result, expected_items,
+                key=keys[index],
             )
-            for metric, vectors in found.items():
-                for vector in vectors:
-                    if vector in pending[metric]:
-                        pending[metric].discard(vector)
-                        sketches[metric].record(vector, position)
+            for metric, mask in found.items():
+                newly = mask & pending[metric]
+                if newly:
+                    pending[metric] &= ~newly
+                    sketches[metric].record_mask(newly, position)
         if config.bit_shift > 0:
             # Unresolved bitmaps are assumed set below the shift.
-            for metric, vectors in pending.items():
-                for vector in vectors:
-                    sketches[metric].record(vector, config.bit_shift - 1)
+            for metric, mask in pending.items():
+                sketches[metric].record_mask(mask, config.bit_shift - 1)
         return result
 
     # ------------------------------------------------------------------
@@ -220,31 +244,30 @@ class Counter:
         sketches: Dict[Hashable, HashSketch],
         origin: int,
         now: int,
+        keys: Sequence[int],
         expected_items: Optional[float] = None,
     ) -> CountResult:
         config = self.config
-        all_vectors = range(config.num_bitmaps)
-        active: Dict[Hashable, Set[int]] = {
-            metric: set(all_vectors) for metric in sketches
-        }
+        full = (1 << config.num_bitmaps) - 1
+        active: Dict[Hashable, int] = {metric: full for metric in sketches}
         if config.bit_shift > 0:
             # Positions below the shift are assumed set (section 3.5).
             for sketch in sketches.values():
-                for vector in all_vectors:
-                    for position in range(config.bit_shift):
-                        sketch.record(vector, position)
+                for position in range(config.bit_shift):
+                    sketch.record_mask(full, position)
         result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
         for index in range(self.mapping.num_intervals):
             if not any(active.values()):
                 break
             position = self.mapping.position_for_index(index)
             found = self._probe_interval(
-                index, position, active, origin, now, result, expected_items
+                index, position, active, origin, now, result, expected_items,
+                key=keys[index],
             )
-            for metric, vectors in active.items():
-                confirmed = vectors & found.get(metric, set())
-                for vector in confirmed:
-                    sketches[metric].record(vector, position)
+            for metric, mask in active.items():
+                confirmed = mask & found.get(metric, 0)
+                if confirmed:
+                    sketches[metric].record_mask(confirmed, position)
                 # Bitmaps whose bit could not be confirmed resolve here:
                 # their leftmost zero is this position (already implicit
                 # in the sketch state — bits above stay unset).
@@ -258,53 +281,68 @@ class Counter:
         self,
         index: int,
         position: int,
-        needed: Dict[Hashable, Set[int]],
+        needed: Dict[Hashable, int],
         origin: int,
         now: int,
         result: CountResult,
         expected_items: Optional[float] = None,
-    ) -> Dict[Hashable, Set[int]]:
+        key: Optional[int] = None,
+    ) -> Dict[Hashable, int]:
+        """Probe one interval; ``needed`` maps metric → pending bitmap.
+
+        Returns metric → bitmap of vectors found set at ``position``.
+        """
         config = self.config
         budget = self._interval_budget(index, expected_items)
-        metrics = [metric for metric, vectors in needed.items() if vectors]
-        found: Dict[Hashable, Set[int]] = {metric: set() for metric in metrics}
+        metrics = [metric for metric, mask in needed.items() if mask]
+        found: Dict[Hashable, int] = {metric: 0 for metric in metrics}
         if not metrics:
             return found
         result.intervals_scanned += 1
-        key = self.mapping.random_key_in_interval(index, self._rng)
+        if key is None:
+            key = self.mapping.random_key_in_interval(index, self._rng)
         lookup = self.dht.lookup(key, origin=origin)
         cost = result.cost
+        size_model = config.size_model
+        num_metrics = len(metrics)
         cost.add(lookup.cost)
-        cost.bytes += config.size_model.probe_bytes(
-            request_hops=lookup.cost.hops, tuples_returned=0, metrics=len(metrics)
+        cost.bytes += size_model.probe_bytes(
+            request_hops=lookup.cost.hops, tuples_returned=0, metrics=num_metrics
         )
 
+        trace = self.dht.trace
         visited: Set[int] = set()
         target = lookup.node_id
         succ_cursor = pred_cursor = target
         go_to_succ = True
         for attempt in range(budget):
             if attempt > 0:
-                cost.bytes += config.size_model.probe_bytes(
-                    request_hops=1, tuples_returned=0, metrics=len(metrics)
+                cost.bytes += size_model.probe_bytes(
+                    request_hops=1, tuples_returned=0, metrics=num_metrics
                 )
             visited.add(target)
             result.probes += 1
-            result.probed_nodes.append(target)
+            result.probed_ids.add(target)
+            if trace:
+                result.probed_nodes.append(target)
             if self.dht.is_alive(target):
                 returned = 0
                 node = self.dht.node(target)
                 self.dht.load.record(target)
                 for metric in metrics:
-                    vectors = vectors_at(node, metric, position, now)
-                    returned += len(vectors)
-                    found[metric].update(vectors)
-                cost.bytes += returned * config.size_model.tuple_bytes
+                    mask = vectors_mask(node, metric, position, now)
+                    returned += mask.bit_count()
+                    found[metric] |= mask
+                cost.bytes += returned * size_model.tuple_bytes
             else:
                 # Timed-out probe of a crashed node (Alg. 1's failure
                 # case): nothing read; evict it and walk on.
                 self.dht.repair(target)
-            if all(needed[metric] <= found[metric] for metric in metrics):
+            if all(not (needed[metric] & ~found[metric]) for metric in metrics):
+                break
+            if attempt + 1 == budget:
+                # Budget exhausted: the walk ends here, so don't pay a
+                # hop for a neighbour that is never contacted.
                 break
             # Pick the next probe target: successors first, then switch
             # to predecessors once the interval's upper end is reached.
@@ -336,6 +374,6 @@ class Counter:
             target = next_target
             cost.hops += 1
             cost.messages += 1
-            if self.dht.trace:
+            if trace:
                 cost.nodes_visited.append(target)
         return found

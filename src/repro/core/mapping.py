@@ -41,6 +41,17 @@ class BitIntervalMap:
         self.config = config
         #: Number of intervals: one per *stored* position.
         self.num_intervals = config.position_bits - config.bit_shift
+        #: Precomputed ``[lo, hi)`` bounds per interval — the counting
+        #: walk tests interval membership per probed node, so the bounds
+        #: are materialized once instead of re-deriving thresholds.
+        bits = space.bits
+        self._bounds: Tuple[Tuple[int, int], ...] = tuple(
+            (
+                0 if index == self.num_intervals - 1 else 1 << (bits - index - 1),
+                1 << (bits - index),
+            )
+            for index in range(self.num_intervals)
+        )
 
     def threshold(self, r: int) -> int:
         """``thr(r) = 2^(L-r-1)``; ``thr(-1)`` is the ring size."""
@@ -76,9 +87,7 @@ class BitIntervalMap:
             raise ValueError(
                 f"interval index {index} out of range [0, {self.num_intervals})"
             )
-        hi = self.threshold(index - 1)
-        lo = 0 if index == self.num_intervals - 1 else self.threshold(index)
-        return lo, hi
+        return self._bounds[index]
 
     def interval_for_position(self, position: int) -> Tuple[int, int]:
         """Id range storing bitmap ``position`` (after the shift)."""
@@ -99,7 +108,7 @@ class BitIntervalMap:
 
     def contains(self, index: int, node_id: int) -> bool:
         """Whether ``node_id`` falls inside interval ``index``."""
-        lo, hi = self.interval_for_index(index)
+        lo, hi = self._bounds[index]
         return lo <= node_id < hi
 
     def expected_nodes(self, index: int, n_nodes: int) -> float:

@@ -2,21 +2,28 @@
 
 A DHS entry is the paper's ``<metric_id, vector_id, bit, time_out>``
 tuple (section 3.2/3.4).  On a node we index entries by ``(metric, bit)``
-and keep a ``{vector_id: expiry}`` sub-map so a counting probe — "which
-vectors have bit ``r`` set for these metrics?" — is answered without
-scanning the node's whole store.  A node stores at most one entry per
-(metric, vector, bit): re-insertions only refresh the expiry.
+and keep one :class:`PackedSlot` per key: a packed integer bitmap whose
+bit ``v`` says "vector ``v`` has bit ``bit`` set", plus a small
+``{vector_id: expiry}`` side map for the (rare) TTL'd entries.  A
+counting probe — "which vectors have bit ``r`` set for these metrics?" —
+is then a single mask read (:func:`vectors_mask`) in the common
+never-expiring case, instead of a per-vector dict walk.  A node stores at
+most one entry per (metric, vector, bit): re-insertions only refresh the
+expiry, and an immortal entry dominates any TTL.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, NamedTuple, Optional
+from typing import Dict, Hashable, List, NamedTuple, Optional
 
-from repro.overlay.node import Node
+from repro.overlay.node import Node, StoreValue
 
 __all__ = [
     "DHSTuple",
+    "PackedSlot",
+    "bits_of",
     "write_entry",
+    "vectors_mask",
     "vectors_at",
     "merge_store_values",
     "purge_expired",
@@ -36,6 +43,61 @@ class DHSTuple(NamedTuple):
     time_out: Optional[int] = None
 
 
+class PackedSlot:
+    """Packed storage for one ``(metric, bit)`` slot.
+
+    ``mask`` holds the never-expiring vectors as an integer bitmap (bit
+    ``v`` set ⇔ vector ``v`` stored forever); ``expiring`` holds only the
+    TTL'd vectors as ``{vector_id: expiry}`` and is ``None`` until the
+    first TTL write.  A vector lives in exactly one of the two — an
+    immortal entry absorbs and dominates any finite expiry.
+    """
+
+    __slots__ = ("mask", "expiring")
+
+    def __init__(
+        self, mask: int = 0, expiring: Optional[Dict[int, float]] = None
+    ) -> None:
+        self.mask = mask
+        self.expiring = expiring
+
+    def live_mask(self, now: int) -> int:
+        """Bitmap of vectors alive at time ``now`` (immortal + unexpired)."""
+        mask = self.mask
+        if self.expiring:
+            for vector, expiry in self.expiring.items():
+                if expiry >= now:
+                    mask |= 1 << vector
+        return mask
+
+    def entries(self) -> int:
+        """Stored entry count (live or stale)."""
+        return self.mask.bit_count() + (len(self.expiring) if self.expiring else 0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedSlot):
+            return NotImplemented
+        return self.mask == other.mask and (self.expiring or {}) == (
+            other.expiring or {}
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - slots are not dict keys
+        return hash((self.mask, tuple(sorted((self.expiring or {}).items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PackedSlot(mask={self.mask:#x}, expiring={self.expiring!r})"
+
+
+def bits_of(mask: int) -> List[int]:
+    """Set-bit positions of ``mask``, ascending."""
+    out: List[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
 def _live(expiry: float, now: int) -> bool:
     return expiry >= now
 
@@ -48,31 +110,76 @@ def write_entry(
     expiry: Optional[int],
 ) -> None:
     """Record (or refresh) one DHS entry at ``node``."""
-    slot: Dict[int, float] = node.store.setdefault((metric_id, bit), {})
-    new_expiry = _NEVER if expiry is None else float(expiry)
-    current = slot.get(vector_id)
+    key = (metric_id, bit)
+    raw = node.store.get(key)
+    if isinstance(raw, PackedSlot):
+        slot = raw
+    else:
+        slot = PackedSlot()
+        node.store[key] = slot
+    vector_bit = 1 << vector_id
+    if expiry is None:
+        # Immortal: fold into the mask; it dominates any pending TTL.
+        slot.mask |= vector_bit
+        if slot.expiring:
+            slot.expiring.pop(vector_id, None)
+        return
+    if slot.mask & vector_bit:
+        return  # already stored forever; a TTL refresh cannot shorten it
+    expiring = slot.expiring
+    if expiring is None:
+        expiring = slot.expiring = {}
+    new_expiry = float(expiry)
+    current = expiring.get(vector_id)
     if current is None or new_expiry > current:
-        slot[vector_id] = new_expiry
+        expiring[vector_id] = new_expiry
 
 
-def vectors_at(node: Node, metric_id: Hashable, bit: int, now: int = 0) -> list[int]:
-    """Vector ids with a live bit ``bit`` for ``metric_id`` at ``node``."""
+def vectors_mask(node: Node, metric_id: Hashable, bit: int, now: int = 0) -> int:
+    """Bitmap of vector ids with a live bit ``bit`` for ``metric_id``."""
     slot = node.store.get((metric_id, bit))
-    if not slot:
-        return []
-    return [vector for vector, expiry in slot.items() if _live(expiry, now)]
+    if not isinstance(slot, PackedSlot):
+        return 0
+    return slot.live_mask(now)
 
 
-def merge_store_values(existing: Optional[dict], incoming: dict) -> dict:
-    """Merge two ``{vector: expiry}`` slots (used on graceful leave)."""
-    if existing is None:
-        return dict(incoming)
-    merged = dict(existing)
-    for vector, expiry in incoming.items():
-        current = merged.get(vector)
-        if current is None or expiry > current:
-            merged[vector] = expiry
-    return merged
+def vectors_at(node: Node, metric_id: Hashable, bit: int, now: int = 0) -> List[int]:
+    """Vector ids with a live bit ``bit`` for ``metric_id`` at ``node``."""
+    return bits_of(vectors_mask(node, metric_id, bit, now))
+
+
+def merge_store_values(
+    existing: Optional[StoreValue], incoming: StoreValue
+) -> StoreValue:
+    """Merge two slots for the same key (used on graceful leave).
+
+    Packed slots merge mask-wise (union of immortal vectors, max-wins on
+    TTL'd expiries, immortality dominating); plain ``{vector: expiry}``
+    dicts — the pre-packed layout — still merge max-wins so mixed-era
+    stores and the reference implementation keep working.
+    """
+    if isinstance(incoming, PackedSlot):
+        mask = incoming.mask
+        expiring: Dict[int, float] = dict(incoming.expiring or {})
+        if isinstance(existing, PackedSlot):
+            mask |= existing.mask
+            for vector, expiry in (existing.expiring or {}).items():
+                current = expiring.get(vector)
+                if current is None or expiry > current:
+                    expiring[vector] = expiry
+        for vector in bits_of(mask):
+            expiring.pop(vector, None)
+        return PackedSlot(mask, expiring or None)
+    if isinstance(incoming, dict):
+        if not isinstance(existing, dict):
+            return dict(incoming)
+        merged = dict(existing)
+        for vector, expiry in incoming.items():
+            current = merged.get(vector)
+            if current is None or expiry > current:
+                merged[vector] = expiry
+        return merged
+    return incoming
 
 
 def purge_expired(node: Node, now: int) -> int:
@@ -80,11 +187,19 @@ def purge_expired(node: Node, now: int) -> int:
     removed = 0
     dead_slots = []
     for slot_key, slot in node.store.items():
-        stale = [vector for vector, expiry in slot.items() if not _live(expiry, now)]
-        for vector in stale:
-            del slot[vector]
-        removed += len(stale)
-        if not slot:
+        if not isinstance(slot, PackedSlot):
+            continue
+        expiring = slot.expiring
+        if expiring:
+            stale = [
+                vector for vector, expiry in expiring.items() if not _live(expiry, now)
+            ]
+            for vector in stale:
+                del expiring[vector]
+            removed += len(stale)
+            if not expiring:
+                slot.expiring = None
+        if slot.mask == 0 and not slot.expiring:
             dead_slots.append(slot_key)
     for slot_key in dead_slots:
         del node.store[slot_key]
@@ -93,4 +208,8 @@ def purge_expired(node: Node, now: int) -> int:
 
 def storage_entries(node: Node) -> int:
     """Number of live-or-stale DHS entries stored at ``node``."""
-    return sum(len(slot) for slot in node.store.values())
+    return sum(
+        slot.entries()
+        for slot in node.store.values()
+        if isinstance(slot, PackedSlot)
+    )

@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -23,9 +23,11 @@ from repro.core.dhs import DistributedHashSketch
 from repro.experiments.common import populate_metric, sample_counts
 from repro.experiments.report import format_table
 from repro.overlay.chord import ChordRing
+from repro.overlay.dht import DHTProtocol
 from repro.overlay.failures import fail_fraction
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.pastry import PastryOverlay
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed
 
 __all__ = [
@@ -61,6 +63,45 @@ def format_ablation(title: str, extra_header: str, rows: List[AblationRow]) -> s
     )
 
 
+def _lim_cell(
+    seed: int,
+    *,
+    lim: int,
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    estimator: str,
+    trials: int,
+) -> AblationRow:
+    """One probe budget; the rebuilt deployment is seed-identical."""
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring"))
+    writer = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed), seed=seed
+    )
+    items = np.arange(n_items, dtype=np.int64)
+    populate_metric(writer, "docs", items, seed=derive_seed(seed, "load"))
+    counter = DistributedHashSketch(
+        ring,
+        DHSConfig(
+            num_bitmaps=num_bitmaps, lim=lim, hash_seed=seed, estimator=estimator
+        ),
+        seed=derive_seed(seed, "counter", lim),
+    )
+    sample = sample_counts(
+        counter,
+        {"docs": float(n_items)},
+        trials=trials,
+        seed=derive_seed(seed, "origins", lim),
+    )
+    return AblationRow(
+        label=f"lim={lim}",
+        error_pct=100 * sample.mean_abs_rel_error(),
+        hops=sample.mean_hops(),
+        bytes_kb=sample.mean_bytes() / 1024,
+        extra=sample.mean_nodes(),
+    )
+
+
 def run_lim_ablation(
     lims: Sequence[int] = (1, 2, 5, 10),
     n_nodes: int = 256,
@@ -69,46 +110,77 @@ def run_lim_ablation(
     estimator: str = "pcsa",
     trials: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[AblationRow]:
     """Accuracy/cost versus the per-interval probe budget.
 
-    The overlay is populated once; only the counting configuration
-    varies, isolating the retry budget's effect.  Defaults put the
-    deployment in the sensitive regime (``alpha = n/(2mN) < 1``) with
-    the PCSA scan order, where the budget visibly buys accuracy —
-    exactly the trade-off eq. 6 models.
+    Only the counting configuration varies across cells (every cell
+    rebuilds the same populated overlay from the same sub-seeds),
+    isolating the retry budget's effect.  Defaults put the deployment in
+    the sensitive regime (``alpha = n/(2mN) < 1``) with the PCSA scan
+    order, where the budget visibly buys accuracy — exactly the
+    trade-off eq. 6 models.
     """
-    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring"))
-    writer = DistributedHashSketch(
-        ring, DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed), seed=seed
-    )
+    specs = [
+        TrialSpec(
+            fn=_lim_cell,
+            seed=seed,
+            kwargs={
+                "lim": lim,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "estimator": estimator,
+                "trials": trials,
+            },
+            label=f"ablation/lim{lim}",
+        )
+        for lim in lims
+    ]
+    return list(run_trials(specs, jobs=jobs))
+
+
+def _replication_cell(
+    seed: int,
+    *,
+    degree: int,
+    failure_fraction: float,
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    estimator: str,
+    trials: int,
+) -> AblationRow:
+    """One replication degree: populate, crash a fraction, count."""
     items = np.arange(n_items, dtype=np.int64)
-    populate_metric(writer, "docs", items, seed=derive_seed(seed, "load"))
-    rows: List[AblationRow] = []
-    for lim in lims:
-        counter = DistributedHashSketch(
-            ring,
-            DHSConfig(
-                num_bitmaps=num_bitmaps, lim=lim, hash_seed=seed, estimator=estimator
-            ),
-            seed=derive_seed(seed, "counter", lim),
-        )
-        sample = sample_counts(
-            counter,
-            {"docs": float(n_items)},
-            trials=trials,
-            seed=derive_seed(seed, "origins", lim),
-        )
-        rows.append(
-            AblationRow(
-                label=f"lim={lim}",
-                error_pct=100 * sample.mean_abs_rel_error(),
-                hops=sample.mean_hops(),
-                bytes_kb=sample.mean_bytes() / 1024,
-                extra=sample.mean_nodes(),
-            )
-        )
-    return rows
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", degree))
+    dhs = DistributedHashSketch(
+        ring,
+        DHSConfig(
+            num_bitmaps=num_bitmaps,
+            replication=degree,
+            hash_seed=seed,
+            estimator=estimator,
+        ),
+        seed=derive_seed(seed, "dhs", degree),
+    )
+    insert_cost = populate_metric(
+        dhs, "docs", items, seed=derive_seed(seed, "load", degree)
+    )
+    fail_fraction(ring, failure_fraction, seed=derive_seed(seed, "fail", degree))
+    sample = sample_counts(
+        dhs,
+        {"docs": float(n_items)},
+        trials=trials,
+        seed=derive_seed(seed, "origins", degree),
+    )
+    return AblationRow(
+        label=f"R={degree}",
+        error_pct=100 * sample.mean_abs_rel_error(),
+        hops=sample.mean_hops(),
+        bytes_kb=sample.mean_bytes() / 1024,
+        extra=insert_cost.hops / max(1, insert_cost.lookups),
+    )
 
 
 def run_replication_ablation(
@@ -120,6 +192,7 @@ def run_replication_ablation(
     estimator: str = "pcsa",
     trials: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[AblationRow]:
     """Accuracy under crashes versus the replication degree ``R``.
 
@@ -129,40 +202,59 @@ def run_replication_ablation(
     truncation rule discards the largest registers, which makes it
     naturally insensitive to losing rare high-bit copies.)
     """
-    rows: List[AblationRow] = []
+    specs = [
+        TrialSpec(
+            fn=_replication_cell,
+            seed=seed,
+            kwargs={
+                "degree": degree,
+                "failure_fraction": failure_fraction,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "estimator": estimator,
+                "trials": trials,
+            },
+            label=f"ablation/R{degree}",
+        )
+        for degree in degrees
+    ]
+    return list(run_trials(specs, jobs=jobs))
+
+
+def _bitshift_cell(
+    seed: int,
+    *,
+    shift: int,
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    trials: int,
+) -> AblationRow:
+    """One bit-shift value on its own deployment."""
     items = np.arange(n_items, dtype=np.int64)
-    for degree in degrees:
-        ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", degree))
-        dhs = DistributedHashSketch(
-            ring,
-            DHSConfig(
-                num_bitmaps=num_bitmaps,
-                replication=degree,
-                hash_seed=seed,
-                estimator=estimator,
-            ),
-            seed=derive_seed(seed, "dhs", degree),
-        )
-        insert_cost = populate_metric(
-            dhs, "docs", items, seed=derive_seed(seed, "load", degree)
-        )
-        fail_fraction(ring, failure_fraction, seed=derive_seed(seed, "fail", degree))
-        sample = sample_counts(
-            dhs,
-            {"docs": float(n_items)},
-            trials=trials,
-            seed=derive_seed(seed, "origins", degree),
-        )
-        rows.append(
-            AblationRow(
-                label=f"R={degree}",
-                error_pct=100 * sample.mean_abs_rel_error(),
-                hops=sample.mean_hops(),
-                bytes_kb=sample.mean_bytes() / 1024,
-                extra=insert_cost.hops / max(1, insert_cost.lookups),
-            )
-        )
-    return rows
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", shift))
+    dhs = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=num_bitmaps, bit_shift=shift, hash_seed=seed),
+        seed=derive_seed(seed, "dhs", shift),
+    )
+    insert_cost = populate_metric(
+        dhs, "docs", items, seed=derive_seed(seed, "load", shift)
+    )
+    sample = sample_counts(
+        dhs,
+        {"docs": float(n_items)},
+        trials=trials,
+        seed=derive_seed(seed, "origins", shift),
+    )
+    return AblationRow(
+        label=f"b={shift}",
+        error_pct=100 * sample.mean_abs_rel_error(),
+        hops=sample.mean_hops(),
+        bytes_kb=sample.mean_bytes() / 1024,
+        extra=insert_cost.bytes / 1024,
+    )
 
 
 def run_bitshift_ablation(
@@ -172,36 +264,66 @@ def run_bitshift_ablation(
     num_bitmaps: int = 64,
     trials: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[AblationRow]:
     """Accuracy/write-cost versus the bit-shift mapping ``b``."""
-    rows: List[AblationRow] = []
+    specs = [
+        TrialSpec(
+            fn=_bitshift_cell,
+            seed=seed,
+            kwargs={
+                "shift": shift,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "trials": trials,
+            },
+            label=f"ablation/b{shift}",
+        )
+        for shift in shifts
+    ]
+    return list(run_trials(specs, jobs=jobs))
+
+
+def _overlay_cell(
+    seed: int,
+    *,
+    overlay_label: str,
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    trials: int,
+) -> AblationRow:
+    """One overlay family hosting the same DHS deployment."""
     items = np.arange(n_items, dtype=np.int64)
-    for shift in shifts:
-        ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", shift))
-        dhs = DistributedHashSketch(
-            ring,
-            DHSConfig(num_bitmaps=num_bitmaps, bit_shift=shift, hash_seed=seed),
-            seed=derive_seed(seed, "dhs", shift),
-        )
-        insert_cost = populate_metric(
-            dhs, "docs", items, seed=derive_seed(seed, "load", shift)
-        )
-        sample = sample_counts(
-            dhs,
-            {"docs": float(n_items)},
-            trials=trials,
-            seed=derive_seed(seed, "origins", shift),
-        )
-        rows.append(
-            AblationRow(
-                label=f"b={shift}",
-                error_pct=100 * sample.mean_abs_rel_error(),
-                hops=sample.mean_hops(),
-                bytes_kb=sample.mean_bytes() / 1024,
-                extra=insert_cost.bytes / 1024,
-            )
-        )
-    return rows
+    overlay: DHTProtocol
+    if overlay_label == "chord":
+        overlay = ChordRing.build(n_nodes, seed=derive_seed(seed, "chord"))
+    elif overlay_label == "kademlia":
+        overlay = KademliaOverlay.build(n_nodes, seed=derive_seed(seed, "kad"))
+    elif overlay_label == "pastry":
+        overlay = PastryOverlay.build(n_nodes, seed=derive_seed(seed, "pastry"))
+    else:
+        raise ValueError(f"unknown overlay {overlay_label!r}")
+    dhs = DistributedHashSketch(
+        overlay,
+        DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed),
+        seed=derive_seed(seed, "dhs", overlay_label),
+    )
+    populate_metric(dhs, "docs", items, seed=derive_seed(seed, "load", overlay_label))
+    sample = sample_counts(
+        dhs,
+        {"docs": float(n_items)},
+        trials=trials,
+        seed=derive_seed(seed, "origins", overlay_label),
+    )
+    return AblationRow(
+        label=overlay_label,
+        error_pct=100 * sample.mean_abs_rel_error(),
+        hops=sample.mean_hops(),
+        bytes_kb=sample.mean_bytes() / 1024,
+        extra=sample.mean_nodes(),
+    )
 
 
 def run_overlay_comparison(
@@ -210,35 +332,22 @@ def run_overlay_comparison(
     num_bitmaps: int = 256,
     trials: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[AblationRow]:
     """The same DHS deployment over Chord, Kademlia and Pastry."""
-    rows: List[AblationRow] = []
-    items = np.arange(n_items, dtype=np.int64)
-    overlays = [
-        ("chord", ChordRing.build(n_nodes, seed=derive_seed(seed, "chord"))),
-        ("kademlia", KademliaOverlay.build(n_nodes, seed=derive_seed(seed, "kad"))),
-        ("pastry", PastryOverlay.build(n_nodes, seed=derive_seed(seed, "pastry"))),
+    specs = [
+        TrialSpec(
+            fn=_overlay_cell,
+            seed=seed,
+            kwargs={
+                "overlay_label": overlay_label,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "trials": trials,
+            },
+            label=f"ablation/overlay-{overlay_label}",
+        )
+        for overlay_label in ("chord", "kademlia", "pastry")
     ]
-    for label, overlay in overlays:
-        dhs = DistributedHashSketch(
-            overlay,
-            DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed),
-            seed=derive_seed(seed, "dhs", label),
-        )
-        populate_metric(dhs, "docs", items, seed=derive_seed(seed, "load", label))
-        sample = sample_counts(
-            dhs,
-            {"docs": float(n_items)},
-            trials=trials,
-            seed=derive_seed(seed, "origins", label),
-        )
-        rows.append(
-            AblationRow(
-                label=label,
-                error_pct=100 * sample.mean_abs_rel_error(),
-                hops=sample.mean_hops(),
-                bytes_kb=sample.mean_bytes() / 1024,
-                extra=sample.mean_nodes(),
-            )
-        )
-    return rows
+    return list(run_trials(specs, jobs=jobs))

@@ -15,12 +15,19 @@ much faster than sLL past the collapse) is the reproduced claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
-from repro.experiments.common import build_ring, env_scale, populate_relation, sample_counts
+from repro.experiments.common import (
+    CountSample,
+    build_ring,
+    env_scale,
+    populate_relation,
+    sample_counts,
+)
 from repro.experiments.report import format_table
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed
 from repro.workloads.relations import make_relation
 
@@ -37,6 +44,41 @@ class AccuracyRow:
     bias_pct: float
 
 
+def _accuracy_cell(
+    seed: int,
+    *,
+    m: int,
+    hash_seed: int,
+    n_nodes: int,
+    n_items: int,
+    trials: int,
+    lim: int,
+) -> Dict[str, CountSample]:
+    """One independent ``(m, hash_seed)`` cell: populate, count both ways."""
+    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel", hash_seed))
+    ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m, hash_seed))
+    writer = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=m, lim=lim, hash_seed=hash_seed),
+        seed=derive_seed(seed, "writer", m, hash_seed),
+    )
+    populate_relation(writer, relation, seed=derive_seed(seed, "load", m, hash_seed))
+    samples: Dict[str, CountSample] = {}
+    for estimator in ("sll", "pcsa"):
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=m, lim=lim, hash_seed=hash_seed, estimator=estimator),
+            seed=derive_seed(seed, "counter", m, hash_seed, estimator),
+        )
+        samples[estimator] = sample_counts(
+            counter,
+            {relation.name: float(relation.size)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", m, hash_seed),
+        )
+    return samples
+
+
 def run_accuracy_sweep(
     ms: Sequence[int] = (64, 128, 256, 512, 1024, 2048, 4096),
     n_nodes: int = 128,
@@ -45,39 +87,38 @@ def run_accuracy_sweep(
     hash_seeds: Sequence[int] = (0, 1),
     lim: int = 5,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[AccuracyRow]:
     """Error versus ``m`` for both estimators with the default lim."""
     scale = env_scale(1e-2) if scale is None else scale
     n_items = max(2000, int(20_000_000 * scale))
+    specs = [
+        TrialSpec(
+            fn=_accuracy_cell,
+            seed=seed,
+            kwargs={
+                "m": m,
+                "hash_seed": hash_seed,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "trials": trials,
+                "lim": lim,
+            },
+            label=f"accuracy/m{m}/h{hash_seed}",
+        )
+        for m in ms
+        for hash_seed in hash_seeds
+    ]
+    results = run_trials(specs, jobs=jobs)
     rows: List[AccuracyRow] = []
+    cursor = 0
     for m in ms:
-        samples = {"sll": [], "pcsa": []}
-        for hash_seed in hash_seeds:
-            relation = make_relation(
-                "R", n_items, seed=derive_seed(seed, "rel", hash_seed)
-            )
-            ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m, hash_seed))
-            writer = DistributedHashSketch(
-                ring,
-                DHSConfig(num_bitmaps=m, lim=lim, hash_seed=hash_seed),
-                seed=derive_seed(seed, "writer", m, hash_seed),
-            )
-            populate_relation(writer, relation, seed=derive_seed(seed, "load", m, hash_seed))
+        samples: Dict[str, List[CountSample]] = {"sll": [], "pcsa": []}
+        for _ in hash_seeds:
+            cell = results[cursor]
+            cursor += 1
             for estimator in ("sll", "pcsa"):
-                counter = DistributedHashSketch(
-                    ring,
-                    DHSConfig(
-                        num_bitmaps=m, lim=lim, hash_seed=hash_seed, estimator=estimator
-                    ),
-                    seed=derive_seed(seed, "counter", m, hash_seed, estimator),
-                )
-                sample = sample_counts(
-                    counter,
-                    {relation.name: float(relation.size)},
-                    trials=trials,
-                    seed=derive_seed(seed, "origins", m, hash_seed),
-                )
-                samples[estimator].append(sample)
+                samples[estimator].append(cell[estimator])
         for estimator, collected in samples.items():
             errors = [s.mean_abs_rel_error() for s in collected]
             biases = [s.mean_rel_bias() for s in collected]

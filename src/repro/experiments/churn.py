@@ -19,6 +19,7 @@ from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
 from repro.experiments.report import format_table
 from repro.overlay.chord import ChordRing
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed, rng_for
 
 __all__ = ["ChurnRow", "run_churn_experiment", "format_churn"]
@@ -40,6 +41,69 @@ def _policy_label(ttl: Optional[int], refresh_every: Optional[int]) -> str:
     return f"ttl={ttl_text}, refresh {refresh_text}"
 
 
+def _churn_cell(
+    seed: int,
+    *,
+    ttl: Optional[int],
+    refresh_every: Optional[int],
+    rounds: int,
+    churn_fraction: float,
+    n_nodes: int,
+    items_per_node: int,
+    num_bitmaps: int,
+) -> ChurnRow:
+    """One maintenance policy simulated over every churn round."""
+    rng = rng_for(seed, "churn", str(ttl), str(refresh_every))
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring"))
+    dhs = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=num_bitmaps, ttl=ttl, hash_seed=seed),
+        seed=derive_seed(seed, "dhs"),
+    )
+    next_item = 0
+    holdings: Dict[int, Set[int]] = {}
+    for node_id in ring.node_ids():
+        holdings[node_id] = set(range(next_item, next_item + items_per_node))
+        next_item += items_per_node
+    for node_id, items in holdings.items():
+        dhs.insert_bulk("files", items, origin=node_id, now=0)
+
+    refresh_bytes = 0.0
+    errors: List[float] = []
+    for now in range(1, rounds + 1):
+        # Churn: leavers take their items; joiners bring new ones.
+        victims = rng.sample(list(ring.node_ids()), int(n_nodes * churn_fraction))
+        for victim in victims:
+            ring.fail_node(victim)
+            holdings.pop(victim, None)
+        for _ in victims:
+            new_id = rng.randrange(ring.space.size)
+            while ring.has_node(new_id):
+                new_id = rng.randrange(ring.space.size)
+            ring.add_node(new_id)
+            items = set(range(next_item, next_item + items_per_node))
+            next_item += items_per_node
+            holdings[new_id] = items
+            dhs.insert_bulk("files", items, origin=new_id, now=now)
+        # Periodic refresh by every live owner.
+        if refresh_every is not None and now % refresh_every == 0:
+            for node_id, items in holdings.items():
+                refresh_bytes += dhs.refresh(
+                    "files", items, origin=node_id, now=now
+                ).bytes
+        truth = sum(len(items) for items in holdings.values())
+        estimate = dhs.count(
+            "files", origin=ring.random_live_node(rng), now=now
+        ).estimate()
+        errors.append(abs(estimate / truth - 1.0))
+    return ChurnRow(
+        label=_policy_label(ttl, refresh_every),
+        mean_error_pct=100 * sum(errors) / len(errors),
+        final_error_pct=100 * errors[-1],
+        refresh_kb=refresh_bytes / 1024,
+    )
+
+
 def run_churn_experiment(
     policies: Sequence[Tuple[Optional[int], Optional[int]]] = (
         (4, 2),      # short TTL, frequent refresh: tracks closely
@@ -53,62 +117,27 @@ def run_churn_experiment(
     items_per_node: int = 150,
     num_bitmaps: int = 64,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ChurnRow]:
     """Estimate-tracking quality of maintenance policies under churn."""
-    rows: List[ChurnRow] = []
-    for ttl, refresh_every in policies:
-        rng = rng_for(seed, "churn", str(ttl), str(refresh_every))
-        ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring"))
-        dhs = DistributedHashSketch(
-            ring,
-            DHSConfig(num_bitmaps=num_bitmaps, ttl=ttl, hash_seed=seed),
-            seed=derive_seed(seed, "dhs"),
+    specs = [
+        TrialSpec(
+            fn=_churn_cell,
+            seed=seed,
+            kwargs={
+                "ttl": ttl,
+                "refresh_every": refresh_every,
+                "rounds": rounds,
+                "churn_fraction": churn_fraction,
+                "n_nodes": n_nodes,
+                "items_per_node": items_per_node,
+                "num_bitmaps": num_bitmaps,
+            },
+            label=f"churn/{_policy_label(ttl, refresh_every)}",
         )
-        next_item = 0
-        holdings: Dict[int, Set[int]] = {}
-        for node_id in ring.node_ids():
-            holdings[node_id] = set(range(next_item, next_item + items_per_node))
-            next_item += items_per_node
-        for node_id, items in holdings.items():
-            dhs.insert_bulk("files", items, origin=node_id, now=0)
-
-        refresh_bytes = 0.0
-        errors: List[float] = []
-        for now in range(1, rounds + 1):
-            # Churn: leavers take their items; joiners bring new ones.
-            victims = rng.sample(list(ring.node_ids()), int(n_nodes * churn_fraction))
-            for victim in victims:
-                ring.fail_node(victim)
-                holdings.pop(victim, None)
-            for _ in victims:
-                new_id = rng.randrange(ring.space.size)
-                while ring.has_node(new_id):
-                    new_id = rng.randrange(ring.space.size)
-                ring.add_node(new_id)
-                items = set(range(next_item, next_item + items_per_node))
-                next_item += items_per_node
-                holdings[new_id] = items
-                dhs.insert_bulk("files", items, origin=new_id, now=now)
-            # Periodic refresh by every live owner.
-            if refresh_every is not None and now % refresh_every == 0:
-                for node_id, items in holdings.items():
-                    refresh_bytes += dhs.refresh(
-                        "files", items, origin=node_id, now=now
-                    ).bytes
-            truth = sum(len(items) for items in holdings.values())
-            estimate = dhs.count(
-                "files", origin=ring.random_live_node(rng), now=now
-            ).estimate()
-            errors.append(abs(estimate / truth - 1.0))
-        rows.append(
-            ChurnRow(
-                label=_policy_label(ttl, refresh_every),
-                mean_error_pct=100 * sum(errors) / len(errors),
-                final_error_pct=100 * errors[-1],
-                refresh_kb=refresh_bytes / 1024,
-            )
-        )
-    return rows
+        for ttl, refresh_every in policies
+    ]
+    return list(run_trials(specs, jobs=jobs))
 
 
 def format_churn(rows: List[ChurnRow]) -> str:

@@ -14,7 +14,7 @@ declining-error-with-m shape at laptop scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
@@ -23,6 +23,7 @@ from repro.experiments.report import format_table
 from repro.histograms.buckets import BucketSpec
 from repro.histograms.builder import DHSHistogramBuilder
 from repro.histograms.histogram import Histogram
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed, rng_for
 from repro.workloads.relations import make_relation
 
@@ -39,6 +40,53 @@ class HistogramAccuracyRow:
     sketch_sigma_pct: float
 
 
+def _histogram_accuracy_cell(
+    seed: int,
+    *,
+    m: int,
+    n_nodes: int,
+    n_buckets: int,
+    n_items: int,
+    trials: int,
+) -> List[HistogramAccuracyRow]:
+    """One ``m``: rebuild the (seed-identical) workload, measure both estimators."""
+    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel"))
+    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
+    truth = Histogram.exact(spec, relation.values)
+    ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
+    writer = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=m, hash_seed=seed),
+        seed=derive_seed(seed, "writer", m),
+    )
+    populate_histogram_metrics(
+        writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
+    )
+    rows: List[HistogramAccuracyRow] = []
+    for estimator in ("sll", "pcsa"):
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
+            seed=derive_seed(seed, "counter", m, estimator),
+        )
+        builder = DHSHistogramBuilder(counter, spec, relation.name)
+        rng = rng_for(seed, "origins", m, estimator)
+        errors = []
+        for _ in range(trials):
+            reconstruction = builder.reconstruct(origin=ring.random_live_node(rng))
+            errors.append(reconstruction.histogram.mean_cell_error(truth))
+        sketch_cls = counter.config.sketch_class()
+        rows.append(
+            HistogramAccuracyRow(
+                m=m,
+                estimator=estimator,
+                cell_error_pct=100 * sum(errors) / len(errors),
+                sketch_sigma_pct=100 * sketch_cls.expected_std_error(m),
+            )
+        )
+    return rows
+
+
 def run_histogram_accuracy(
     ms: Sequence[int] = (64, 128, 256),
     n_nodes: int = 64,
@@ -46,43 +94,27 @@ def run_histogram_accuracy(
     n_items: int = 2_400_000,
     trials: int = 2,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[HistogramAccuracyRow]:
     """Cell error versus ``m`` in the miss-free regime."""
-    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel"))
-    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
-    truth = Histogram.exact(spec, relation.values)
+    specs = [
+        TrialSpec(
+            fn=_histogram_accuracy_cell,
+            seed=seed,
+            kwargs={
+                "m": m,
+                "n_nodes": n_nodes,
+                "n_buckets": n_buckets,
+                "n_items": n_items,
+                "trials": trials,
+            },
+            label=f"histogram_accuracy/m{m}",
+        )
+        for m in ms
+    ]
     rows: List[HistogramAccuracyRow] = []
-    for m in ms:
-        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
-        writer = DistributedHashSketch(
-            ring,
-            DHSConfig(num_bitmaps=m, hash_seed=seed),
-            seed=derive_seed(seed, "writer", m),
-        )
-        populate_histogram_metrics(
-            writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
-        )
-        for estimator in ("sll", "pcsa"):
-            counter = DistributedHashSketch(
-                ring,
-                DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
-                seed=derive_seed(seed, "counter", m, estimator),
-            )
-            builder = DHSHistogramBuilder(counter, spec, relation.name)
-            rng = rng_for(seed, "origins", m, estimator)
-            errors = []
-            for _ in range(trials):
-                reconstruction = builder.reconstruct(origin=ring.random_live_node(rng))
-                errors.append(reconstruction.histogram.mean_cell_error(truth))
-            sketch_cls = counter.config.sketch_class()
-            rows.append(
-                HistogramAccuracyRow(
-                    m=m,
-                    estimator=estimator,
-                    cell_error_pct=100 * sum(errors) / len(errors),
-                    sketch_sigma_pct=100 * sketch_cls.expected_std_error(m),
-                )
-            )
+    for cell in run_trials(specs, jobs=jobs):
+        rows.extend(cell)
     return rows
 
 

@@ -11,7 +11,7 @@ overhead of routing around the corpses, for several replication degrees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,7 @@ from repro.core.dhs import DistributedHashSketch
 from repro.experiments.common import populate_metric, sample_counts
 from repro.experiments.report import format_table
 from repro.overlay.chord import ChordRing
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed, rng_for
 
 __all__ = ["RobustnessRow", "run_failure_robustness", "format_robustness"]
@@ -35,6 +36,58 @@ class RobustnessRow:
     hops: float
 
 
+def _robustness_cell(
+    seed: int,
+    *,
+    replication: int,
+    draw: int,
+    failure_fractions: Tuple[float, ...],
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    estimator: str,
+    trials: int,
+) -> List[Tuple[float, float, float]]:
+    """One (replication, draw): degrade one deployment through every p_f.
+
+    Returns ``(p_f, error, hops)`` per fraction, in ascending order.
+    """
+    items = np.arange(n_items, dtype=np.int64)
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", replication, draw))
+    dhs = DistributedHashSketch(
+        ring,
+        DHSConfig(
+            num_bitmaps=num_bitmaps,
+            replication=replication,
+            estimator=estimator,
+            hash_seed=seed + draw,
+        ),
+        seed=derive_seed(seed, "dhs", replication, draw),
+    )
+    populate_metric(
+        dhs, "docs", items, seed=derive_seed(seed, "load", replication, draw)
+    )
+    failed = 0
+    points: List[Tuple[float, float, float]] = []
+    for p_f in failure_fractions:
+        target = int(n_nodes * p_f)
+        if target > failed:
+            extra = target - failed
+            alive = [n for n in ring.node_ids() if ring.is_alive(n)]
+            rng = rng_for(seed, "fail", replication, draw, target)
+            for victim in rng.sample(alive, min(extra, len(alive) - 1)):
+                ring.mark_failed(victim)
+            failed = target
+        sample = sample_counts(
+            dhs,
+            {"docs": float(n_items)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", replication, draw, target),
+        )
+        points.append((p_f, sample.mean_abs_rel_error(), sample.mean_hops()))
+    return points
+
+
 def run_failure_robustness(
     failure_fractions: Sequence[float] = (0.0, 0.15, 0.3),
     replications: Sequence[int] = (0, 3),
@@ -45,6 +98,7 @@ def run_failure_robustness(
     trials: int = 2,
     draws: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[RobustnessRow]:
     """Counting error/hops versus the undetected-failure fraction.
 
@@ -56,45 +110,31 @@ def run_failure_robustness(
     """
     if list(failure_fractions) != sorted(failure_fractions):
         raise ValueError("failure_fractions must be ascending")
+    specs = [
+        TrialSpec(
+            fn=_robustness_cell,
+            seed=seed,
+            kwargs={
+                "replication": replication,
+                "draw": draw,
+                "failure_fractions": tuple(failure_fractions),
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "estimator": estimator,
+                "trials": trials,
+            },
+            label=f"robustness/R{replication}/d{draw}",
+        )
+        for replication in replications
+        for draw in range(draws)
+    ]
+    results = run_trials(specs, jobs=jobs)
     accum: dict[tuple[float, int], list[tuple[float, float]]] = {}
-    items = np.arange(n_items, dtype=np.int64)
-    for replication in replications:
-        for draw in range(draws):
-            ring = ChordRing.build(
-                n_nodes, seed=derive_seed(seed, "ring", replication, draw)
-            )
-            dhs = DistributedHashSketch(
-                ring,
-                DHSConfig(
-                    num_bitmaps=num_bitmaps,
-                    replication=replication,
-                    estimator=estimator,
-                    hash_seed=seed + draw,
-                ),
-                seed=derive_seed(seed, "dhs", replication, draw),
-            )
-            populate_metric(
-                dhs, "docs", items, seed=derive_seed(seed, "load", replication, draw)
-            )
-            failed = 0
-            for p_f in failure_fractions:
-                target = int(n_nodes * p_f)
-                if target > failed:
-                    extra = target - failed
-                    alive = [n for n in ring.node_ids() if ring.is_alive(n)]
-                    rng = rng_for(seed, "fail", replication, draw, target)
-                    for victim in rng.sample(alive, min(extra, len(alive) - 1)):
-                        ring.mark_failed(victim)
-                    failed = target
-                sample = sample_counts(
-                    dhs,
-                    {"docs": float(n_items)},
-                    trials=trials,
-                    seed=derive_seed(seed, "origins", replication, draw, target),
-                )
-                accum.setdefault((p_f, replication), []).append(
-                    (sample.mean_abs_rel_error(), sample.mean_hops())
-                )
+    for spec, points in zip(specs, results):
+        replication = spec.kwargs["replication"]
+        for p_f, error, hops in points:
+            accum.setdefault((p_f, replication), []).append((error, hops))
     rows: List[RobustnessRow] = []
     for replication in replications:
         for p_f in failure_fractions:

@@ -9,12 +9,13 @@ workload held fixed and reports mean counting hops per estimator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
 from repro.experiments.common import build_ring, env_scale, populate_relation, sample_counts
 from repro.experiments.report import format_table
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed
 from repro.workloads.relations import make_relation
 
@@ -32,48 +33,76 @@ class ScalabilityRow:
     lookups: float
 
 
+def _scalability_cell(
+    seed: int,
+    *,
+    n_nodes: int,
+    num_bitmaps: int,
+    n_items: int,
+    trials: int,
+) -> List[ScalabilityRow]:
+    """One network size: same workload (same ``rel`` sub-seed) every cell."""
+    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel"))
+    ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", n_nodes))
+    writer = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed),
+        seed=derive_seed(seed, "writer", n_nodes),
+    )
+    populate_relation(writer, relation, seed=derive_seed(seed, "load", n_nodes))
+    rows: List[ScalabilityRow] = []
+    for estimator in ("sll", "pcsa"):
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed, estimator=estimator),
+            seed=derive_seed(seed, "counter", n_nodes, estimator),
+        )
+        sample = sample_counts(
+            counter,
+            {relation.name: float(relation.size)},
+            trials=trials,
+            seed=derive_seed(seed, "origins", n_nodes),
+        )
+        rows.append(
+            ScalabilityRow(
+                n_nodes=n_nodes,
+                estimator=estimator,
+                hops=sample.mean_hops(),
+                nodes_visited=sample.mean_nodes(),
+                lookups=sum(sample.lookups) / len(sample.lookups),
+            )
+        )
+    return rows
+
+
 def run_scalability(
     node_counts: Sequence[int] = (256, 1024, 4096),
     num_bitmaps: int = 512,
     scale: float | None = None,
     trials: int = 3,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ScalabilityRow]:
     """Counting hops versus overlay size, workload held fixed."""
     scale = env_scale(1e-2) if scale is None else scale
-    relation = make_relation(
-        "R", max(1000, int(20_000_000 * scale)), seed=derive_seed(seed, "rel")
-    )
-    rows: List[ScalabilityRow] = []
-    for n_nodes in node_counts:
-        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", n_nodes))
-        writer = DistributedHashSketch(
-            ring,
-            DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed),
-            seed=derive_seed(seed, "writer", n_nodes),
+    n_items = max(1000, int(20_000_000 * scale))
+    specs = [
+        TrialSpec(
+            fn=_scalability_cell,
+            seed=seed,
+            kwargs={
+                "n_nodes": n_nodes,
+                "num_bitmaps": num_bitmaps,
+                "n_items": n_items,
+                "trials": trials,
+            },
+            label=f"scalability/n{n_nodes}",
         )
-        populate_relation(writer, relation, seed=derive_seed(seed, "load", n_nodes))
-        for estimator in ("sll", "pcsa"):
-            counter = DistributedHashSketch(
-                ring,
-                DHSConfig(num_bitmaps=num_bitmaps, hash_seed=seed, estimator=estimator),
-                seed=derive_seed(seed, "counter", n_nodes, estimator),
-            )
-            sample = sample_counts(
-                counter,
-                {relation.name: float(relation.size)},
-                trials=trials,
-                seed=derive_seed(seed, "origins", n_nodes),
-            )
-            rows.append(
-                ScalabilityRow(
-                    n_nodes=n_nodes,
-                    estimator=estimator,
-                    hops=sample.mean_hops(),
-                    nodes_visited=sample.mean_nodes(),
-                    lookups=sum(sample.lookups) / len(sample.lookups),
-                )
-            )
+        for n_nodes in node_counts
+    ]
+    rows: List[ScalabilityRow] = []
+    for cell in run_trials(specs, jobs=jobs):
+        rows.extend(cell)
     return rows
 
 

@@ -13,7 +13,7 @@ setup of evaluating DHS-sLL and DHS-PCSA "within DHS".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
@@ -25,6 +25,7 @@ from repro.experiments.common import (
     sample_counts,
 )
 from repro.experiments.report import format_table
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed
 from repro.workloads.relations import standard_relations
 
@@ -45,6 +46,51 @@ class Table2Row:
     error_pct: float
 
 
+def _table2_cell(
+    seed: int,
+    *,
+    m: int,
+    n_nodes: int,
+    scale: float,
+    trials: int,
+    lim: int,
+    key_bits: int,
+) -> List[Table2Row]:
+    """One ``m``: populate once, count with both estimators."""
+    relations = standard_relations(scale=scale, seed=derive_seed(seed, "relations"))
+    ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
+    config = DHSConfig(key_bits=key_bits, num_bitmaps=m, lim=lim, hash_seed=seed)
+    writer = DistributedHashSketch(ring, config, seed=derive_seed(seed, "writer", m))
+    truths: Dict[str, float] = {}
+    for relation in relations:
+        populate_relation(writer, relation, seed=derive_seed(seed, "load", m))
+        truths[relation.name] = float(relation.size)
+    rows: List[Table2Row] = []
+    for estimator in ESTIMATORS:
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(
+                key_bits=key_bits, num_bitmaps=m, lim=lim,
+                hash_seed=seed, estimator=estimator,
+            ),
+            seed=derive_seed(seed, "counter", m, estimator),
+        )
+        sample: CountSample = sample_counts(
+            counter, truths, trials=trials, seed=derive_seed(seed, "origins", m)
+        )
+        rows.append(
+            Table2Row(
+                m=m,
+                estimator=estimator,
+                nodes_visited=sample.mean_nodes(),
+                hops=sample.mean_hops(),
+                bw_kbytes=sample.mean_bytes() / 1024,
+                error_pct=sample.mean_abs_rel_error() * 100,
+            )
+        )
+    return rows
+
+
 def run_table2(
     n_nodes: int = 128,
     ms: Sequence[int] = (128, 256, 512, 1024),
@@ -53,6 +99,7 @@ def run_table2(
     lim: int = 5,
     key_bits: int = 24,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[Table2Row]:
     """Reproduce Table 2 at the configured workload scale.
 
@@ -64,38 +111,25 @@ def run_table2(
     regime Table 2 was measured in (see EXPERIMENTS.md).
     """
     scale = env_scale(2e-2) if scale is None else scale
-    relations = standard_relations(scale=scale, seed=derive_seed(seed, "relations"))
+    specs = [
+        TrialSpec(
+            fn=_table2_cell,
+            seed=seed,
+            kwargs={
+                "m": m,
+                "n_nodes": n_nodes,
+                "scale": scale,
+                "trials": trials,
+                "lim": lim,
+                "key_bits": key_bits,
+            },
+            label=f"table2/m{m}",
+        )
+        for m in ms
+    ]
     rows: List[Table2Row] = []
-    for m in ms:
-        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
-        config = DHSConfig(key_bits=key_bits, num_bitmaps=m, lim=lim, hash_seed=seed)
-        writer = DistributedHashSketch(ring, config, seed=derive_seed(seed, "writer", m))
-        truths: Dict[str, float] = {}
-        for relation in relations:
-            populate_relation(writer, relation, seed=derive_seed(seed, "load", m))
-            truths[relation.name] = float(relation.size)
-        for estimator in ESTIMATORS:
-            counter = DistributedHashSketch(
-                ring,
-                DHSConfig(
-                    key_bits=key_bits, num_bitmaps=m, lim=lim,
-                    hash_seed=seed, estimator=estimator,
-                ),
-                seed=derive_seed(seed, "counter", m, estimator),
-            )
-            sample: CountSample = sample_counts(
-                counter, truths, trials=trials, seed=derive_seed(seed, "origins", m)
-            )
-            rows.append(
-                Table2Row(
-                    m=m,
-                    estimator=estimator,
-                    nodes_visited=sample.mean_nodes(),
-                    hops=sample.mean_hops(),
-                    bw_kbytes=sample.mean_bytes() / 1024,
-                    error_pct=sample.mean_abs_rel_error() * 100,
-                )
-            )
+    for cell in run_trials(specs, jobs=jobs):
+        rows.extend(cell)
     return rows
 
 

@@ -11,7 +11,7 @@ paper scale.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
@@ -24,6 +24,7 @@ from repro.experiments.report import format_table
 from repro.histograms.buckets import BucketSpec
 from repro.histograms.builder import DHSHistogramBuilder
 from repro.histograms.histogram import Histogram
+from repro.sim.parallel import TrialSpec, run_trials
 from repro.sim.seeds import derive_seed, rng_for
 from repro.workloads.relations import make_relation
 
@@ -42,6 +43,58 @@ class Table3Row:
     mean_cell_error_pct: float
 
 
+def _table3_cell(
+    seed: int,
+    *,
+    m: int,
+    n_nodes: int,
+    n_buckets: int,
+    n_items: int,
+    trials: int,
+) -> List[Table3Row]:
+    """One ``m``: rebuild the workload, reconstruct with both estimators."""
+    relation = make_relation("R", n_items, seed=derive_seed(seed, "rel"))
+    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
+    truth = Histogram.exact(spec, relation.values)
+    ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
+    writer = DistributedHashSketch(
+        ring,
+        DHSConfig(num_bitmaps=m, hash_seed=seed),
+        seed=derive_seed(seed, "writer", m),
+    )
+    populate_histogram_metrics(
+        writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
+    )
+    rows: List[Table3Row] = []
+    for estimator in ("sll", "pcsa"):
+        counter = DistributedHashSketch(
+            ring,
+            DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
+            seed=derive_seed(seed, "counter", m, estimator),
+        )
+        builder = DHSHistogramBuilder(counter, spec, relation.name)
+        rng = rng_for(seed, "hist-origins", m, estimator)
+        hops, nodes, bw, errors = [], [], [], []
+        for _ in range(trials):
+            origin = ring.random_live_node(rng)
+            reconstruction = builder.reconstruct(origin=origin)
+            hops.append(reconstruction.cost.hops)
+            nodes.append(reconstruction.count_result.unique_probed)
+            bw.append(reconstruction.cost.bytes)
+            errors.append(reconstruction.histogram.mean_cell_error(truth))
+        rows.append(
+            Table3Row(
+                m=m,
+                estimator=estimator,
+                nodes_visited=sum(nodes) / len(nodes),
+                hops=sum(hops) / len(hops),
+                bw_kbytes=sum(bw) / len(bw) / 1024,
+                mean_cell_error_pct=100 * sum(errors) / len(errors),
+            )
+        )
+    return rows
+
+
 def run_table3(
     n_nodes: int = 1024,
     ms: Sequence[int] = (128, 256, 512, 1024),
@@ -49,51 +102,29 @@ def run_table3(
     scale: float | None = None,
     trials: int = 2,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[Table3Row]:
     """Reconstruction cost/accuracy of a relation's histogram per ``m``."""
     scale = env_scale(1e-2) if scale is None else scale
-    relation = make_relation(
-        "R", max(2000, int(20_000_000 * scale)), seed=derive_seed(seed, "rel")
-    )
-    spec = BucketSpec.equi_width(relation.domain[0], relation.domain[1], n_buckets)
-    truth = Histogram.exact(spec, relation.values)
+    n_items = max(2000, int(20_000_000 * scale))
+    specs = [
+        TrialSpec(
+            fn=_table3_cell,
+            seed=seed,
+            kwargs={
+                "m": m,
+                "n_nodes": n_nodes,
+                "n_buckets": n_buckets,
+                "n_items": n_items,
+                "trials": trials,
+            },
+            label=f"table3/m{m}",
+        )
+        for m in ms
+    ]
     rows: List[Table3Row] = []
-    for m in ms:
-        ring = build_ring(n_nodes, seed=derive_seed(seed, "ring", m))
-        writer = DistributedHashSketch(
-            ring,
-            DHSConfig(num_bitmaps=m, hash_seed=seed),
-            seed=derive_seed(seed, "writer", m),
-        )
-        populate_histogram_metrics(
-            writer, relation, n_buckets, seed=derive_seed(seed, "load", m)
-        )
-        for estimator in ("sll", "pcsa"):
-            counter = DistributedHashSketch(
-                ring,
-                DHSConfig(num_bitmaps=m, hash_seed=seed, estimator=estimator),
-                seed=derive_seed(seed, "counter", m, estimator),
-            )
-            builder = DHSHistogramBuilder(counter, spec, relation.name)
-            rng = rng_for(seed, "hist-origins", m, estimator)
-            hops, nodes, bw, errors = [], [], [], []
-            for _ in range(trials):
-                origin = ring.random_live_node(rng)
-                reconstruction = builder.reconstruct(origin=origin)
-                hops.append(reconstruction.cost.hops)
-                nodes.append(reconstruction.count_result.unique_probed)
-                bw.append(reconstruction.cost.bytes)
-                errors.append(reconstruction.histogram.mean_cell_error(truth))
-            rows.append(
-                Table3Row(
-                    m=m,
-                    estimator=estimator,
-                    nodes_visited=sum(nodes) / len(nodes),
-                    hops=sum(hops) / len(hops),
-                    bw_kbytes=sum(bw) / len(bw) / 1024,
-                    mean_cell_error_pct=100 * sum(errors) / len(errors),
-                )
-            )
+    for cell in run_trials(specs, jobs=jobs):
+        rows.extend(cell)
     return rows
 
 

@@ -58,6 +58,9 @@ class ChordRing(DHTProtocol):
     ) -> None:
         super().__init__(space, trace=trace)
         self._finger_cache_enabled = finger_cache
+        #: ``space.size - 1``, cached: ``wrap`` via ``& mask`` keeps the
+        #: hot routing loops free of property lookups.
+        self._size_mask = space.size - 1
         #: node id -> per-exponent memoized finger values (None = stale).
         self._fingers: Dict[int, List[Optional[int]]] = {}
         #: finger value -> {(node, i)} entries currently memoized to it.
@@ -119,7 +122,7 @@ class ChordRing(DHTProtocol):
         ids = self._ids
         if not ids:
             raise EmptyOverlayError("overlay has no live nodes")
-        key = self.space.wrap(key)
+        key &= self._size_mask
         cache = self._owner_cache
         owner = cache.get(key)
         if owner is not None:
@@ -139,13 +142,13 @@ class ChordRing(DHTProtocol):
         affect it; stale entries fall back to the on-demand computation.
         """
         if not self._finger_cache_enabled:
-            return self.owner_of(self.space.wrap(node_id + (1 << i)))
+            return self.owner_of((node_id + (1 << i)) & self._size_mask)
         table = self._fingers.get(node_id)
         if table is None:
             table = self._fingers[node_id] = [None] * self.space.bits
         value = table[i]
         if value is None:
-            value = self.owner_of(self.space.wrap(node_id + (1 << i)))
+            value = self.owner_of((node_id + (1 << i)) & self._size_mask)
             table[i] = value
             self._finger_rev.setdefault(value, set()).add((node_id, i))
         return value
@@ -238,7 +241,7 @@ class ChordRing(DHTProtocol):
         """
         if not self._ids:
             raise EmptyOverlayError("overlay has no live nodes")
-        key = self.space.wrap(key)
+        key &= self._size_mask
         if origin is None:
             origin = self._ids[0]
         current = origin

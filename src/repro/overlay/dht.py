@@ -17,11 +17,11 @@ import bisect
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, cast
 
 from repro.errors import EmptyOverlayError, NodeNotFoundError
 from repro.overlay.idspace import IdSpace
-from repro.overlay.node import Node
+from repro.overlay.node import Node, StoreValue
 from repro.overlay.stats import LoadTracker, OpCost
 
 __all__ = ["DHTProtocol", "LookupResult"]
@@ -57,7 +57,9 @@ class DHTProtocol(ABC):
         #: Optional application hook merging two store values for the same
         #: key during a graceful leave: ``merge(existing, incoming)`` with
         #: ``existing`` possibly ``None``.  Defaults to max-wins.
-        self.store_merge: Optional[Callable[[Any, Any], Any]] = None
+        self.store_merge: Optional[
+            Callable[[Optional[StoreValue], StoreValue], StoreValue]
+        ] = None
 
     # ------------------------------------------------------------------
     # Membership.
@@ -117,7 +119,7 @@ class DHTProtocol(ABC):
                     heir.store[key] = value
                 else:
                     try:
-                        heir.store[key] = max(existing, value)
+                        heir.store[key] = max(cast(Any, existing), cast(Any, value))
                     except TypeError:
                         heir.store[key] = value
 

@@ -5,13 +5,26 @@ application-managed key/value store.  All routing intelligence lives in
 the overlay (finger tables are derived on demand from the ring membership,
 modelling an ideally-stabilized DHT, which is also what the paper's
 evaluation assumes).
+
+The store is typed through the ``StoreKey``/``StoreValue``/``NodeStore``
+aliases shared with :mod:`repro.core.tuples`: values are opaque to the
+overlay (``object``), and each application narrows them back with
+``isinstance`` — DHS keeps one packed ``PackedSlot`` per ``(metric, bit)``
+key, the baselines keep their own counter/set slots.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Dict, Hashable
 
-__all__ = ["Node"]
+__all__ = ["Node", "NodeStore", "StoreKey", "StoreValue"]
+
+#: Store keys are application-defined hashables (DHS uses ``(metric, bit)``).
+StoreKey = Hashable
+#: Store values are opaque at the overlay layer; applications narrow them.
+StoreValue = object
+#: The per-node key/value store shared by every overlay geometry.
+NodeStore = Dict[StoreKey, StoreValue]
 
 
 class Node:
@@ -22,13 +35,13 @@ class Node:
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.alive = True
-        #: Application-level storage; DHS keeps
-        #: ``(metric_id, vector_id, bit) -> expiry`` entries here.
-        self.store: Dict[Any, Any] = {}
+        #: Application-level storage; DHS keeps one packed
+        #: ``(metric_id, bit) -> PackedSlot`` slot per key here.
+        self.store: NodeStore = {}
 
     @property
     def storage_entries(self) -> int:
-        """Number of stored entries (the per-node storage-load metric)."""
+        """Number of stored slots (the per-node storage-load metric)."""
         return len(self.store)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,90 @@
+"""Process-parallel trial runner for the experiment drivers.
+
+Every experiment in :mod:`repro.experiments` evaluates a grid of
+independent ``(config, trial)`` cells.  Instead of looping inline, a
+driver declares one picklable :class:`TrialSpec` per cell and hands the
+list to :func:`run_trials`, which either runs them in-process (the
+default) or fans them across a ``ProcessPoolExecutor``.
+
+Determinism contract
+--------------------
+Parallel results are **bit-identical to the serial run** regardless of
+worker count or scheduling order.  This holds because:
+
+* a trial is fully determined by ``(fn, seed, kwargs)`` — the worker
+  receives everything it needs and shares no mutable state with other
+  trials or with the parent process;
+* every random stream inside a trial must be derived from ``spec.seed``
+  via :func:`repro.sim.seeds.derive_seed` / ``rng_for`` label paths
+  (never from global state, ``hash()``, or the process id) — dhslint
+  rule DHS502 enforces this at the call sites;
+* results are collected in **submission order**, not completion order.
+
+Drivers whose trials share a sequential RNG stream across cells (e.g.
+``multidim``, which advances one ``Counter`` over every metric batch)
+cannot be split without changing their output and deliberately stay
+serial.
+
+``DHS_JOBS`` (default 1) selects the pool width when the caller does not
+pass ``jobs`` explicitly; ``DHS_JOBS=1`` short-circuits to a plain
+in-process loop, so the serial path is byte-for-byte the pre-harness
+behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Mapping, Optional, Sequence
+
+__all__ = ["TrialSpec", "env_jobs", "run_trials"]
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent experiment cell.
+
+    ``fn`` must be a module-level callable (picklable by reference) and
+    is invoked as ``fn(seed=seed, **kwargs)``.  All randomness inside the
+    trial must flow from ``seed`` through ``derive_seed`` label paths so
+    the cell's result is a pure function of this spec.
+    """
+
+    fn: Callable[..., Any]
+    seed: int
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+
+def env_jobs(default: int = 1) -> int:
+    """Worker count from ``DHS_JOBS`` (default 1 = serial)."""
+    return int(os.environ.get("DHS_JOBS", default))
+
+
+def _execute(spec: TrialSpec) -> Any:
+    """Run one trial (top-level so it pickles into pool workers)."""
+    return spec.fn(seed=spec.seed, **dict(spec.kwargs))
+
+
+def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[Any]:
+    """Run every spec and return results in spec order.
+
+    ``jobs=None`` reads ``DHS_JOBS``; ``jobs <= 1`` (or a single spec)
+    runs inline with no pool, which is the default serial path.
+    """
+    if jobs is None:
+        jobs = env_jobs()
+    if jobs <= 1 or len(specs) <= 1:
+        return [_execute(spec) for spec in specs]
+    # ``fork`` keeps worker start cheap and inherits the warm import
+    # state; ``spawn`` platforms work too since specs pickle fully.
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        # ``map`` preserves submission order, so the aggregation loop in
+        # each driver sees results exactly as the serial loop would.
+        return list(pool.map(_execute, specs, chunksize=1))

@@ -132,6 +132,19 @@ class HashSketch(ABC):
         paper's ``rho(0) = L`` convention) and is recorded as-is.
         """
 
+    def record_mask(self, vectors: int, position: int) -> None:
+        """Record ``position`` into every bucket set in the ``vectors`` bitmap.
+
+        Equivalent to calling :meth:`record` once per set bit; the
+        distributed counter keeps its per-metric bookkeeping as packed
+        bitmaps, and subclasses override this with a single pass over
+        their register state.
+        """
+        while vectors:
+            low = vectors & -vectors
+            self.record(low.bit_length() - 1, position)
+            vectors ^= low
+
     @abstractmethod
     def estimate(self) -> float:
         """Return the estimated number of distinct items recorded."""

@@ -57,6 +57,18 @@ class LogLogSketch(HashSketch):
         if rank > self._registers[vector]:
             self._registers[vector] = rank
 
+    def record_mask(self, vectors: int, position: int) -> None:
+        if vectors < 0 or vectors >> self.m:
+            raise ValueError(f"vector mask {vectors:#x} out of range [0, 2^{self.m})")
+        rank = min(position, self.position_bits - 1) + 1
+        registers = self._registers
+        while vectors:
+            low = vectors & -vectors
+            vector = low.bit_length() - 1
+            if rank > registers[vector]:
+                registers[vector] = rank
+            vectors ^= low
+
     def is_empty(self) -> bool:
         return all(r == 0 for r in self._registers)
 

@@ -57,6 +57,18 @@ class PCSASketch(HashSketch):
             position = self.position_bits - 1
         self._bitmaps[vector] |= 1 << position
 
+    def record_mask(self, vectors: int, position: int) -> None:
+        if vectors < 0 or vectors >> self.m:
+            raise ValueError(f"vector mask {vectors:#x} out of range [0, 2^{self.m})")
+        if position >= self.position_bits:
+            position = self.position_bits - 1
+        bit = 1 << position
+        bitmaps = self._bitmaps
+        while vectors:
+            low = vectors & -vectors
+            bitmaps[low.bit_length() - 1] |= bit
+            vectors ^= low
+
     def is_empty(self) -> bool:
         return all(b == 0 for b in self._bitmaps)
 

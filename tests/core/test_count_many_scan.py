@@ -1,0 +1,87 @@
+"""count_many shares one interval scan across metrics (section 4.2).
+
+With ``lim = 1`` every interval costs exactly one lookup and probes
+exactly one node, so the multi-metric scan is hop-for-hop the same walk
+as a single-metric scan — and because each metric's tuples are read from
+the same probed nodes, per-metric estimates are *exactly* the isolated
+single-metric results, not merely close.
+"""
+
+import pytest
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.overlay.chord import ChordRing
+
+METRICS = ("docs", "users", "tags")
+
+
+def build_ring():
+    return ChordRing.build(64, bits=32, seed=3)
+
+
+def make_counter(ring, estimator, lim=1, m=16):
+    config = DHSConfig(key_bits=16, num_bitmaps=m, lim=lim, estimator=estimator)
+    return DistributedHashSketch(ring, config, seed=7)
+
+
+def populate(ring, estimator, lim=1, m=16):
+    """Write three metrics of different cardinalities onto ``ring``."""
+    writer = make_counter(ring, estimator, lim=lim, m=m)
+    node_ids = list(ring.node_ids())
+    sizes = {"docs": 400, "users": 150, "tags": 40}
+    offset = 0
+    for metric in METRICS:
+        for i in range(sizes[metric]):
+            writer.insert(metric, offset + i, origin=node_ids[i % len(node_ids)])
+        offset += 10_000
+    return writer
+
+
+@pytest.mark.parametrize("estimator", ["sll", "pcsa"])
+class TestSharedScan:
+    def test_hop_cost_equals_single_metric_scan(self, estimator):
+        ring = build_ring()
+        populate(ring, estimator)
+        origin = ring.node_ids()[0]
+        single = make_counter(ring, estimator).count("docs", origin=origin)
+        multi = make_counter(ring, estimator).count_many(
+            list(METRICS), origin=origin
+        )
+        assert multi.cost.hops == single.cost.hops
+        assert multi.cost.messages == single.cost.messages
+        assert multi.intervals_scanned == single.intervals_scanned
+
+    def test_shared_scan_beats_separate_counts(self, estimator):
+        ring = build_ring()
+        populate(ring, estimator)
+        origin = ring.node_ids()[0]
+        separate_hops = sum(
+            make_counter(ring, estimator).count(metric, origin=origin).cost.hops
+            for metric in METRICS
+        )
+        multi = make_counter(ring, estimator).count_many(
+            list(METRICS), origin=origin
+        )
+        assert multi.cost.hops < separate_hops
+
+    def test_estimates_match_isolated_counts_exactly(self, estimator):
+        ring = build_ring()
+        populate(ring, estimator)
+        origin = ring.node_ids()[0]
+        multi = make_counter(ring, estimator).count_many(
+            list(METRICS), origin=origin
+        )
+        for metric in METRICS:
+            isolated = make_counter(ring, estimator).count(metric, origin=origin)
+            assert multi.estimates[metric] == isolated.estimates[metric]
+
+    def test_response_bytes_grow_with_metric_count(self, estimator):
+        ring = build_ring()
+        populate(ring, estimator)
+        origin = ring.node_ids()[0]
+        single = make_counter(ring, estimator).count("docs", origin=origin)
+        multi = make_counter(ring, estimator).count_many(
+            list(METRICS), origin=origin
+        )
+        assert multi.cost.bytes > single.cost.bytes

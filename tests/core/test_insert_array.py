@@ -12,6 +12,7 @@ import pytest
 
 from repro.core.config import DHSConfig
 from repro.core.dhs import DistributedHashSketch
+from repro.core.tuples import bits_of
 from repro.overlay.chord import ChordRing
 from repro.overlay.stats import OpCost
 
@@ -29,7 +30,8 @@ def stored_state(dhs):
         node = dhs.dht.node(node_id)
         if node.store:
             state[node_id] = sorted(
-                (key, sorted(slot)) for key, slot in node.store.items()
+                (key, sorted(bits_of(slot.mask) + list(slot.expiring or {})))
+                for key, slot in node.store.items()
             )
     return state
 

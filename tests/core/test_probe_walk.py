@@ -22,7 +22,9 @@ ABOVE_WRAP = []  # the ring wraps: the "overflow owner" is min(all ids)
 
 
 def make_counter(lim=5, seed=1):
-    ring = ChordRing.from_ids(sorted(IN_INTERVAL + BELOW), bits=16)
+    # trace=True so the probe walk records its full node sequence
+    # (CountResult.probed_nodes stays empty otherwise).
+    ring = ChordRing.from_ids(sorted(IN_INTERVAL + BELOW), bits=16, trace=True)
     config = DHSConfig(key_bits=8, num_bitmaps=1, lim=lim)
     dhs = DistributedHashSketch(ring, config, seed=seed)
     return ring, dhs
@@ -35,7 +37,7 @@ def probed_sequence(dhs, ring, lim, position=0):
     from repro.overlay.stats import OpCost
 
     result = CountResult(estimates={}, sketches={}, cost=OpCost())
-    needed = {"m": {0}}
+    needed = {"m": 0b1}  # pending bitmap: vector 0 unresolved
     counter._probe_interval(
         counter.mapping.interval_index(position),
         position,

@@ -292,6 +292,91 @@ class TestGenericRules:
 
 
 # ----------------------------------------------------------------------
+# DHS501 — ad-hoc process pools
+# ----------------------------------------------------------------------
+class TestAdHocProcessPool:
+    def test_multiprocessing_import_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "import multiprocessing\n", module="repro.experiments.foo"
+        )
+        assert codes == ["DHS501"]
+
+    def test_concurrent_futures_import_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            module="repro.core.count",
+        )
+        assert codes == ["DHS501"]
+
+    def test_os_fork_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path, "import os\npid = os.fork()\n", module="repro.overlay.chord"
+        )
+        assert codes == ["DHS501"]
+
+    def test_parallel_root_exempt(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import multiprocessing\nfrom concurrent.futures import ProcessPoolExecutor\n",
+            module="repro.sim.parallel",
+        )
+        assert codes == []
+
+    def test_outside_package_not_checked(self, tmp_path):
+        codes, _ = lint(tmp_path, "import multiprocessing\n")
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
+# DHS502 — unseeded TrialSpec in experiment drivers
+# ----------------------------------------------------------------------
+class TestUnseededTrialSpec:
+    HEADER = "from repro.sim.parallel import TrialSpec\n\ndef f():\n    pass\n\n"
+
+    def test_missing_seed_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            self.HEADER + "spec = TrialSpec(fn=f)\n",
+            module="repro.experiments.accuracy",
+        )
+        assert codes == ["DHS502"]
+
+    def test_literal_seed_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            self.HEADER + "spec = TrialSpec(fn=f, seed=0)\n",
+            module="repro.experiments.accuracy",
+        )
+        assert codes == ["DHS502"]
+
+    def test_positional_literal_seed_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            self.HEADER + "spec = TrialSpec(f, 42)\n",
+            module="repro.experiments.accuracy",
+        )
+        assert codes == ["DHS502"]
+
+    def test_derived_seed_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            self.HEADER
+            + "def build(seed):\n    return TrialSpec(fn=f, seed=seed)\n",
+            module="repro.experiments.accuracy",
+        )
+        assert codes == []
+
+    def test_outside_experiments_not_checked(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            self.HEADER + "spec = TrialSpec(fn=f)\n",
+            module="repro.sim.parallel_helpers",
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions and config
 # ----------------------------------------------------------------------
 class TestSuppressions:

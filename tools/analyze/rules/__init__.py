@@ -1,3 +1,9 @@
 """Rule modules — importing this package registers every rule."""
 
-from tools.analyze.rules import determinism, floats, generic, layering  # noqa: F401
+from tools.analyze.rules import (  # noqa: F401
+    determinism,
+    floats,
+    generic,
+    layering,
+    parallelism,
+)

@@ -57,6 +57,16 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
     benchmarks = report.get("benchmarks", {})
     if not benchmarks:
         return []
+    hot_path = {
+        name: entry
+        for name, entry in benchmarks.items()
+        if not name.startswith("parallel_scaling/")
+    }
+    scaling = {
+        name: entry
+        for name, entry in benchmarks.items()
+        if name.startswith("parallel_scaling/")
+    }
     lines = [
         "## perf_microbenchmarks",
         "",
@@ -67,8 +77,8 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
         "| benchmark | ops/sec | hops/op | seconds |",
         "|---|---:|---:|---:|",
     ]
-    for name in sorted(benchmarks):
-        entry = benchmarks[name]
+    for name in sorted(hot_path):
+        entry = hot_path[name]
         speedup = entry.get("speedup_vs_scalar")
         suffix = f" ({speedup}x vs scalar)" if speedup is not None else ""
         lines.append(
@@ -76,6 +86,35 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
             f"| {entry['hops_per_op']:.3f} | {entry['seconds']:.3f} |"
         )
     lines.append("")
+    if scaling:
+        serial = next(
+            (entry for entry in scaling.values() if entry.get("jobs") == 1), None
+        )
+        lines.extend(
+            [
+                "### parallel_scaling",
+                "",
+                "Accuracy-sweep wall clock at several `DHS_JOBS` widths; every",
+                "width must reproduce the serial rows bit for bit (the",
+                "`identical` column is a hard CI gate in "
+                "`benchmarks/perf/check.py`).",
+                "",
+                "| workers | seconds | cells/sec | speedup vs serial | identical |",
+                "|---:|---:|---:|---:|---|",
+            ]
+        )
+        for name in sorted(scaling, key=lambda n: scaling[n].get("jobs", 0)):
+            entry = scaling[name]
+            if serial is not None and entry["seconds"] > 0:
+                speedup_text = f"{serial['seconds'] / entry['seconds']:.2f}x"
+            else:
+                speedup_text = "-"
+            lines.append(
+                f"| {entry.get('jobs', '?')} | {entry['seconds']:.3f} "
+                f"| {entry['ops_per_sec']:,.3f} | {speedup_text} "
+                f"| {'yes' if entry.get('identical_to_serial') else 'NO'} |"
+            )
+        lines.append("")
     return lines
 
 
