@@ -38,7 +38,9 @@ import numpy as np  # noqa: E402
 
 from repro.core.config import DHSConfig  # noqa: E402
 from repro.core.dhs import DistributedHashSketch  # noqa: E402
+from repro.core.policy import RetryPolicy  # noqa: E402
 from repro.overlay.chord import ChordRing  # noqa: E402
+from repro.overlay.faults import FaultInjector, FaultPlan  # noqa: E402
 from repro.sim.seeds import rng_for  # noqa: E402
 
 #: Benchmark sizes per preset.  ``smoke`` must finish well under 60 s on
@@ -49,6 +51,7 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "lookup": [{"n_nodes": 256, "ops": 2000}],
         "insert": [{"n_nodes": 128, "array_items": 100_000, "scalar_items": 10_000}],
         "count": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
+        "count_faulty": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
         "parallel": {
             "jobs": [1, 2],
             "sweep": {"ms": (32, 64), "n_nodes": 32, "scale": 2e-4, "trials": 1},
@@ -62,6 +65,9 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "count": [
             {"n_nodes": 256, "m": 128, "items": 100_000, "counts": 8},
             {"n_nodes": 1024, "m": 512, "items": 200_000, "counts": 4},
+        ],
+        "count_faulty": [
+            {"n_nodes": 256, "m": 128, "items": 100_000, "counts": 8},
         ],
         "parallel": {
             "jobs": [1, 2, 4, 8],
@@ -80,6 +86,9 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "count": [
             {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 8},
             {"n_nodes": 4096, "m": 1024, "items": 1_000_000, "counts": 4},
+        ],
+        "count_faulty": [
+            {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 4},
         ],
         "parallel": {
             "jobs": [1, 2, 4, 8],
@@ -165,6 +174,51 @@ def bench_count(
     }
 
 
+def bench_count_faulty(
+    n_nodes: int, m: int, items: int, counts: int, drop: float = 0.05
+) -> Dict[str, Any]:
+    """Distributed-count latency with the fault layer live.
+
+    Same workload as :func:`bench_count`, but the ring is wrapped in a
+    :class:`FaultInjector` losing ``drop`` of all messages (population
+    stays clean via ``drop_from``) and counting runs under a 3-attempt
+    retry policy.  Tracking this next to ``count`` keeps the fault
+    layer's wrapper overhead and the retry bookkeeping from regressing
+    the packed count hot path unnoticed.
+    """
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    injector = FaultInjector(
+        ring, FaultPlan(drop_probability=drop, drop_from=1), seed=SEED
+    )
+    dhs = DistributedHashSketch(
+        injector,
+        DHSConfig(num_bitmaps=m, key_bits=24),
+        seed=SEED,
+        policy=RetryPolicy(max_attempts=3, backoff_hops=1),
+    )
+    dhs.insert_array("perf", np.arange(items, dtype=np.int64))
+    injector.advance_to(1)
+    rng = rng_for(SEED, "perf-count-faulty", n_nodes, m)
+    origins = [injector.random_live_node(rng) for _ in range(counts)]
+    hops = 0
+    degraded = 0
+    start = time.perf_counter()
+    for origin in origins:
+        result = dhs.count("perf", origin=origin, now=1)
+        hops += result.cost.hops
+        degraded += int(result.degraded)
+    seconds = time.perf_counter() - start
+    return {
+        "ops": counts,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(counts / seconds, 2),
+        "hops_per_op": round(hops / counts, 1),
+        "seconds_per_count": round(seconds / counts, 4),
+        "degraded_counts": degraded,
+        "dropped_messages": injector.dropped_messages,
+    }
+
+
 def bench_parallel(jobs_list: List[int], sweep: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     """Accuracy-sweep wall-clock at several ``DHS_JOBS`` widths.
 
@@ -234,6 +288,13 @@ def run_suite(preset: str) -> Dict[str, Any]:
         name = f"count/n{spec['n_nodes']}_m{spec['m']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_count(
+            spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
+        )
+
+    for spec in sizes.get("count_faulty", []):
+        name = f"count_faulty/n{spec['n_nodes']}_m{spec['m']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_count_faulty(
             spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
         )
 

@@ -20,7 +20,9 @@ Quickstart::
 from repro.core.config import DHSConfig
 from repro.core.count import CountResult
 from repro.core.dhs import DistributedHashSketch
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
 from repro.overlay.chord import ChordRing
+from repro.overlay.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.pastry import PastryOverlay
 from repro.sketches import (
@@ -37,6 +39,11 @@ __all__ = [
     "DHSConfig",
     "CountResult",
     "DistributedHashSketch",
+    "DEFAULT_POLICY",
+    "RetryPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "ChordRing",
     "KademliaOverlay",
     "PastryOverlay",

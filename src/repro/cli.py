@@ -38,6 +38,7 @@ from repro.experiments.histogram_types import (
 from repro.experiments.insertion import run_insertion_experiment
 from repro.experiments.multidim import format_multidim, run_multidim
 from repro.experiments.query_opt import run_query_opt
+from repro.experiments.faultmatrix import format_faultmatrix, run_faultmatrix
 from repro.experiments.robustness import format_robustness, run_failure_robustness
 from repro.experiments.scalability import format_scalability, run_scalability
 from repro.experiments.table2 import format_table2, run_table2
@@ -136,6 +137,13 @@ def _run_robustness(args: argparse.Namespace) -> str:
     )
 
 
+def _run_faultmatrix(args: argparse.Namespace) -> str:
+    kwargs = {"seed": args.seed, "jobs": args.jobs}
+    if args.nodes is not None:
+        kwargs["n_nodes"] = args.nodes
+    return format_faultmatrix(run_faultmatrix(**kwargs))
+
+
 def _run_ablations(args: argparse.Namespace) -> str:
     parts = [
         format_ablation("Retry budget ablation (section 4.1)", "nodes visited",
@@ -164,6 +172,7 @@ EXPERIMENTS: Dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "multidim": (_run_multidim, "§4.2 multi-dimension counting"),
     "churn": (_run_churn, "§3.3 soft-state maintenance under churn"),
     "robustness": (_run_robustness, "§3.5 undetected failures vs replication"),
+    "faultmatrix": (_run_faultmatrix, "fault kind x intensity x policy x R matrix"),
     "ablations": (_run_ablations, "lim / replication / bit-shift / overlay ablations"),
 }
 

@@ -4,8 +4,9 @@ from repro.core.config import DEFAULT_LIM, DHSConfig
 from repro.core.count import Counter, CountResult
 from repro.core.dhs import DistributedHashSketch
 from repro.core.insert import Inserter
-from repro.core.maintenance import refresh, sweep_expired
+from repro.core.maintenance import refresh, stabilize, sweep_expired
 from repro.core.mapping import BitIntervalMap
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
 from repro.core.retries import (
     lim_for_interval,
     lim_with_bitmaps,
@@ -33,8 +34,11 @@ __all__ = [
     "DistributedHashSketch",
     "Inserter",
     "refresh",
+    "stabilize",
     "sweep_expired",
     "BitIntervalMap",
+    "DEFAULT_POLICY",
+    "RetryPolicy",
     "lim_for_interval",
     "lim_with_bitmaps",
     "lim_with_replication",

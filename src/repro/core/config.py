@@ -52,6 +52,12 @@ class DHSConfig:
     replication:
         The paper's ``R``: number of successor replicas per set bit
         (0 disables replication).
+    read_repair:
+        When true (and ``replication > 0``), a counting probe that finds
+        a set bit re-writes it onto successor replicas that lost their
+        copy (crash, amnesia rejoin).  Each repaired replica costs one
+        hop and the tuple bytes, charged to the count (see
+        docs/ROBUSTNESS.md).
     bit_shift:
         The paper's ``b`` (section 3.5): the first ``b`` bit positions
         are assumed set and never stored, so position ``r`` maps to the
@@ -74,6 +80,7 @@ class DHSConfig:
     lim_policy: str = "fixed"
     lim_target_p: float = 0.99
     replication: int = 0
+    read_repair: bool = False
     bit_shift: int = 0
     ttl: Optional[int] = None
     hash_seed: int = 0
@@ -106,6 +113,10 @@ class DHSConfig:
             )
         if self.replication < 0:
             raise ConfigurationError(f"replication must be >= 0, got {self.replication}")
+        if self.read_repair and self.replication < 1:
+            raise ConfigurationError(
+                "read_repair needs replication >= 1 (there is nothing to repair)"
+            )
         if not 0 <= self.bit_shift < self.position_bits:
             raise ConfigurationError(
                 f"bit_shift must be in [0, position_bits={self.position_bits}), "

@@ -34,10 +34,14 @@ from typing import Dict, Hashable, List, Optional, Sequence, Set
 
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
-from repro.core.retries import lim_with_replication
-from repro.core.tuples import vectors_mask
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
+from repro.core.retries import lim_with_replication, success_probability
+from repro.core.tuples import PackedSlot, bits_of, vectors_mask, write_entry
+from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
 from repro.overlay.dht import DHTProtocol
+from repro.overlay.node import Node
+from repro.overlay.replication import replica_chain
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
 from repro.sketches.base import HashSketch
@@ -64,6 +68,18 @@ class CountResult:
     #: (mirrors ``OpCost.nodes_visited``); empty otherwise.
     probed_nodes: List[int] = field(default_factory=list)
     intervals_scanned: int = 0
+    #: True when any probe budget was exhausted with unresolved bitmaps
+    #: or any message was lost/timed out — the estimate may be biased.
+    degraded: bool = False
+    #: Intervals whose probe walk ended by budget exhaustion (rather
+    #: than resolving every pending bitmap or sweeping the interval).
+    exhausted_intervals: int = 0
+    #: Messages permanently lost during the count (retry budget spent).
+    dropped_messages: int = 0
+    #: Per-metric probability that no live data was missed: the product
+    #: of eq. 5 success probabilities over every exhausted interval
+    #: (1.0 = every interval resolved or was swept exhaustively).
+    confidence: Dict[Hashable, float] = field(default_factory=dict)
 
     @property
     def unique_probed(self) -> int:
@@ -87,11 +103,13 @@ class Counter:
         mapping: BitIntervalMap,
         hash_family: HashFamily,
         seed: int = 0,
+        policy: RetryPolicy = DEFAULT_POLICY,
     ) -> None:
         self.dht = dht
         self.config = config
         self.mapping = mapping
         self.hash_family = hash_family
+        self.policy = policy
         self._rng = rng_for(seed, "dhs-count")
 
     # ------------------------------------------------------------------
@@ -144,6 +162,12 @@ class Counter:
         result = self._run_scan(metric_ids, origin, now, expected_items=expected_items)
         if bootstrap_cost is not None:
             result.cost.add(bootstrap_cost)
+        result.dropped_messages = result.cost.drops
+        result.degraded = (
+            result.exhausted_intervals > 0
+            or result.cost.drops > 0
+            or result.cost.timeouts > 0
+        )
         return result
 
     def _run_scan(
@@ -216,7 +240,10 @@ class Counter:
         config = self.config
         full = (1 << config.num_bitmaps) - 1
         pending: Dict[Hashable, int] = {metric: full for metric in sketches}
-        result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
+        result = CountResult(
+            estimates={}, sketches=sketches, cost=OpCost(),
+            confidence={metric: 1.0 for metric in sketches},
+        )
         for index in reversed(range(self.mapping.num_intervals)):
             if not any(pending.values()):
                 break
@@ -255,7 +282,10 @@ class Counter:
             for sketch in sketches.values():
                 for position in range(config.bit_shift):
                     sketch.record_mask(full, position)
-        result = CountResult(estimates={}, sketches=sketches, cost=OpCost())
+        result = CountResult(
+            estimates={}, sketches=sketches, cost=OpCost(),
+            confidence={metric: 1.0 for metric in sketches},
+        )
         for index in range(self.mapping.num_intervals):
             if not any(active.values()):
                 break
@@ -301,8 +331,20 @@ class Counter:
         result.intervals_scanned += 1
         if key is None:
             key = self.mapping.random_key_in_interval(index, self._rng)
-        lookup = self.dht.lookup(key, origin=origin)
         cost = result.cost
+        try:
+            lookup = self.policy.call(
+                lambda: self.dht.lookup(key, origin=origin), self._rng, cost
+            )
+        except MessageDropped:
+            # The interval is unreachable this scan (every lookup attempt
+            # was dropped): zero probes happened, so confidence in every
+            # still-pending metric takes the full zero-probe eq. 5 hit.
+            self._charge_exhaustion(
+                index, position, metrics, needed, found, result,
+                expected_items, probes_done=0,
+            )
+            return found
         size_model = config.size_model
         num_metrics = len(metrics)
         cost.add(lookup.cost)
@@ -310,11 +352,14 @@ class Counter:
             request_hops=lookup.cost.hops, tuples_returned=0, metrics=num_metrics
         )
 
+        repair = config.read_repair and config.replication > 0
         trace = self.dht.trace
         visited: Set[int] = set()
         target = lookup.node_id
         succ_cursor = pred_cursor = target
         go_to_succ = True
+        budget_exhausted = False
+        probes_done = 0
         for attempt in range(budget):
             if attempt > 0:
                 cost.bytes += size_model.probe_bytes(
@@ -322,27 +367,33 @@ class Counter:
                 )
             visited.add(target)
             result.probes += 1
+            probes_done += 1
             result.probed_ids.add(target)
             if trace:
                 result.probed_nodes.append(target)
-            if self.dht.is_alive(target):
-                returned = 0
-                node = self.dht.node(target)
-                self.dht.load.record(target)
-                for metric in metrics:
-                    mask = vectors_mask(node, metric, position, now)
-                    returned += mask.bit_count()
-                    found[metric] |= mask
-                cost.bytes += returned * size_model.tuple_bytes
+            if self.dht.node_responsive(target):
+                masks = self._probe_node(target, metrics, position, now, cost)
+                if masks is not None:
+                    returned = 0
+                    for metric, mask in masks.items():
+                        returned += mask.bit_count()
+                        found[metric] |= mask
+                    cost.bytes += returned * size_model.tuple_bytes
+                    if repair and returned:
+                        self._read_repair(target, metrics, masks, position, now, cost)
             else:
-                # Timed-out probe of a crashed node (Alg. 1's failure
-                # case): nothing read; evict it and walk on.
-                self.dht.repair(target)
+                # Timed-out probe of a crashed (or transiently down)
+                # node — Alg. 1's failure case.  The walk hop was already
+                # paid; record the timeout and walk on.  Transient nodes
+                # are not evicted (the fault layer vetoes it).
+                cost.timeouts += 1
+                self.dht.timeout_repair(target)
             if all(not (needed[metric] & ~found[metric]) for metric in metrics):
                 break
             if attempt + 1 == budget:
                 # Budget exhausted: the walk ends here, so don't pay a
                 # hop for a neighbour that is never contacted.
+                budget_exhausted = True
                 break
             # Pick the next probe target: successors first, then switch
             # to predecessors once the interval's upper end is reached.
@@ -376,4 +427,122 @@ class Counter:
             cost.messages += 1
             if trace:
                 cost.nodes_visited.append(target)
+        if budget_exhausted:
+            self._charge_exhaustion(
+                index, position, metrics, needed, found, result,
+                expected_items, probes_done=probes_done,
+            )
         return found
+
+    def _probe_node(
+        self,
+        target: int,
+        metrics: List[Hashable],
+        position: int,
+        now: int,
+        cost: OpCost,
+    ) -> Optional[Dict[Hashable, int]]:
+        """Probe one node under the retry policy.
+
+        Returns metric → bitmap of vectors set at ``position``, or
+        ``None`` when the probe message was permanently lost (the loss
+        is already charged into ``cost`` by the policy).
+        """
+
+        def read(node: Node) -> Dict[Hashable, int]:
+            return {
+                metric: vectors_mask(node, metric, position, now)
+                for metric in metrics
+            }
+
+        try:
+            masks: Dict[Hashable, int] = self.policy.call(
+                lambda: self.dht.probe(target, read), self._rng, cost
+            )
+        except MessageDropped:
+            return None
+        return masks
+
+    def _read_repair(
+        self,
+        target: int,
+        metrics: List[Hashable],
+        masks: Dict[Hashable, int],
+        position: int,
+        now: int,
+        cost: OpCost,
+    ) -> None:
+        """Re-write bits found at ``target`` onto replicas missing them.
+
+        A crashed-and-rejoined (or amnesiac) successor silently degrades
+        ``p_f^R`` bit survival; the counting walk is the natural place to
+        notice, because it already read the authoritative bits.  Each
+        repaired replica costs one hop plus the copied tuple bytes.
+        """
+        source = self.dht.node(target)
+        tuple_bytes = self.config.size_model.tuple_bytes
+        for replica_id in replica_chain(self.dht, target, self.config.replication):
+            if not self.dht.node_responsive(replica_id):
+                continue
+            replica = self.dht.node(replica_id)
+            wrote = 0
+            for metric in metrics:
+                src_mask = masks.get(metric, 0)
+                if not src_mask:
+                    continue
+                missing = src_mask & ~vectors_mask(replica, metric, position, now)
+                if not missing:
+                    continue
+                slot = source.store.get((metric, position))
+                for vector in bits_of(missing):
+                    expiry: Optional[int] = None
+                    if isinstance(slot, PackedSlot) and not (slot.mask >> vector) & 1:
+                        raw = (slot.expiring or {}).get(vector)
+                        expiry = int(raw) if raw is not None else None
+                    write_entry(replica, metric, vector, position, expiry)
+                    wrote += 1
+            if wrote:
+                cost.hops += 1
+                cost.messages += 1
+                cost.bytes += wrote * tuple_bytes
+                cost.repair_writes += wrote
+                self.dht.load.record(replica_id)
+
+    def _charge_exhaustion(
+        self,
+        index: int,
+        position: int,
+        metrics: List[Hashable],
+        needed: Dict[Hashable, int],
+        found: Dict[Hashable, int],
+        result: CountResult,
+        expected_items: Optional[float],
+        probes_done: int,
+    ) -> None:
+        """Record a budget-exhausted interval and discount confidence.
+
+        ``probes_done`` nodes of the interval were probed without
+        resolving every pending bitmap; eq. 5 gives the probability that
+        those probes would have found live data had there been any, so
+        each unresolved metric's confidence is multiplied by it.
+        """
+        unresolved = [
+            metric for metric in metrics if needed[metric] & ~found[metric]
+        ]
+        if not unresolved:
+            return
+        result.exhausted_intervals += 1
+        nodes_here = max(1.0, self.mapping.expected_nodes(index, self.dht.size))
+        if expected_items is not None:
+            items_here = expected_items * 2.0 ** -(position + 1)
+        else:
+            # No prior: assume the paper's lim=5 boundary case — as many
+            # interval items as interval nodes (section 4.1).
+            items_here = nodes_here
+        if items_here <= 0:
+            return
+        p = success_probability(
+            (self.config.replication + 1) * items_here, nodes_here, probes_done
+        )
+        for metric in unresolved:
+            result.confidence[metric] = result.confidence.get(metric, 1.0) * p

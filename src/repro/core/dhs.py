@@ -25,7 +25,8 @@ from repro.core.config import DHSConfig
 from repro.core.count import Counter, CountResult
 from repro.core.insert import Inserter
 from repro.core.mapping import BitIntervalMap
-from repro.core.maintenance import refresh, sweep_expired
+from repro.core.maintenance import refresh, stabilize, sweep_expired
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
 from repro.core.tuples import merge_store_values, storage_entries
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.stats import OpCost
@@ -50,6 +51,10 @@ class DistributedHashSketch:
     seed:
         Master seed for the random target-key choices of insertion and
         counting.
+    policy:
+        The :class:`~repro.core.policy.RetryPolicy` applied to every
+        insert store and counting lookup/probe.  The default performs no
+        retries and leaves fault-free runs byte-identical.
     """
 
     def __init__(
@@ -57,13 +62,19 @@ class DistributedHashSketch:
         dht: DHTProtocol,
         config: Optional[DHSConfig] = None,
         seed: int = 0,
+        policy: RetryPolicy = DEFAULT_POLICY,
     ) -> None:
         self.dht = dht
         self.config = config or DHSConfig()
+        self.policy = policy
         self.mapping = BitIntervalMap(dht.space, self.config)
         self.hash_family = self.config.hash_family(dht.space.bits)
-        self._inserter = Inserter(dht, self.config, self.mapping, self.hash_family, seed)
-        self._counter = Counter(dht, self.config, self.mapping, self.hash_family, seed)
+        self._inserter = Inserter(
+            dht, self.config, self.mapping, self.hash_family, seed, policy=policy
+        )
+        self._counter = Counter(
+            dht, self.config, self.mapping, self.hash_family, seed, policy=policy
+        )
         dht.store_merge = merge_store_values
 
     # ------------------------------------------------------------------
@@ -221,6 +232,20 @@ class DistributedHashSketch:
     def sweep_expired(self, now: int) -> int:
         """Purge aged-out entries network-wide; returns entries freed."""
         return sweep_expired(self.dht, now)
+
+    def stabilize(self, now: int = 0) -> OpCost:
+        """Rebuild successor replica chains after failures (one sweep).
+
+        A no-op (zero cost) when replication is disabled; see
+        :func:`repro.core.maintenance.stabilize`.
+        """
+        return stabilize(
+            self.dht,
+            self.config.replication,
+            now=now,
+            size_model=self.config.size_model,
+            mapping=self.mapping,
+        )
 
     def storage_per_node(self) -> Dict[int, int]:
         """DHS entries stored at each live node."""

@@ -21,7 +21,9 @@ import numpy.typing as npt
 
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
 from repro.core.tuples import write_entry
+from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
 from repro.hashing.vectorized import observations_np
 from repro.overlay.dht import DHTProtocol
@@ -44,11 +46,13 @@ class Inserter:
         mapping: BitIntervalMap,
         hash_family: HashFamily,
         seed: int = 0,
+        policy: RetryPolicy = DEFAULT_POLICY,
     ) -> None:
         self.dht = dht
         self.config = config
         self.mapping = mapping
         self.hash_family = hash_family
+        self.policy = policy
         self._rng = rng_for(seed, "dhs-insert")
 
     # ------------------------------------------------------------------
@@ -253,12 +257,24 @@ class Inserter:
             for metric_id, vector, position in tuples:
                 write_entry(node, metric_id, vector, position, expiry)
 
-        storing_node, cost = self.dht.store(
-            key,
-            write,
-            origin=origin,
-            payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
-        )
+        loss_cost = OpCost()
+        try:
+            storing_node, cost = self.policy.call(
+                lambda: self.dht.store(
+                    key,
+                    write,
+                    origin=origin,
+                    payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
+                ),
+                self._rng,
+                loss_cost,
+            )
+        except MessageDropped:
+            # The write is lost for good: the tuples were never stored.
+            # Soft-state refresh (or read-repair) re-creates them later;
+            # the timeout/backoff accounting survives in the cost.
+            return loss_cost
+        cost.add(loss_cost)
         if self.config.replication > 0:
             extra = replicate_to_successors(
                 self.dht,

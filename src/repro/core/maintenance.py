@@ -12,14 +12,17 @@ kit); nothing here reads wall-clock time.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional
+from typing import Any, Hashable, Iterable, Optional, Tuple, cast
 
 from repro.core.insert import Inserter
-from repro.core.tuples import purge_expired
+from repro.core.mapping import BitIntervalMap
+from repro.core.tuples import PackedSlot, bits_of, purge_expired, write_entry
 from repro.overlay.dht import DHTProtocol
+from repro.overlay.messages import DEFAULT_SIZE_MODEL, SizeModel
+from repro.overlay.replication import replica_chain
 from repro.overlay.stats import OpCost
 
-__all__ = ["refresh", "sweep_expired"]
+__all__ = ["refresh", "stabilize", "sweep_expired"]
 
 
 def refresh(
@@ -48,3 +51,189 @@ def sweep_expired(dht: DHTProtocol, now: int) -> int:
     for node_id in list(dht.node_ids()):
         removed += purge_expired(dht.node(node_id), now)
     return removed
+
+
+def _live_predecessors(dht: DHTProtocol, node_id: int, degree: int) -> list[int]:
+    """The first ``degree`` live predecessors (mirror of replica_chain)."""
+    preds: list[int] = []
+    current = node_id
+    for _ in range(dht.size):
+        if len(preds) >= degree:
+            break
+        current = dht.predecessor_id(current)
+        if current == node_id:
+            break
+        if dht.is_alive(current):
+            preds.append(current)
+    return preds
+
+
+def _entry_expiry(slot: PackedSlot, vector: int) -> Optional[int]:
+    """Source expiry of ``vector`` in ``slot`` (``None`` = immortal)."""
+    if (slot.mask >> vector) & 1:
+        return None
+    raw = (slot.expiring or {}).get(vector)
+    return int(raw) if raw is not None else None
+
+
+def _handoff_to_interval(
+    dht: DHTProtocol,
+    mapping: BitIntervalMap,
+    now: int,
+    model: SizeModel,
+    cost: OpCost,
+) -> None:
+    """Return replica bits that spilled past their home interval.
+
+    Insert-time replicas live on the primary's ring successors, which
+    for keys near an interval's upper end sit *outside* the interval —
+    where the counting walk never looks.  The walk's reach for interval
+    ``[lo, hi)`` is exactly the in-interval nodes plus the one overflow
+    owner (the node owning key ``hi - 1``, which owns every in-interval
+    key when the interval is empty of nodes).  While the primary is
+    alive a spilled replica is harmless — the walk reads the primary —
+    but a crashed-and-rejoined primary comes back empty and masks its
+    replicas: the bits survive globally yet the count confidently
+    under-reads.  Mirroring Chord's key handoff to a rejoined owner,
+    each holder the walk cannot see offers such bits to its first live
+    predecessor when that predecessor *is* visible.  The migration is
+    bounded: once a visible node holds the bits, ``missing`` is empty
+    and later sweeps are free.
+    """
+
+    def visible(index: int, node_id: int) -> bool:
+        if mapping.contains(index, node_id):
+            return True
+        lo, hi = mapping.interval_for_index(index)
+        return node_id == dht.owner_of(hi - 1)
+
+    for node_id in list(dht.node_ids()):
+        if not dht.node_responsive(node_id):
+            continue
+        node = dht.node(node_id)
+        slots = [
+            (key, slot)
+            for key, slot in node.store.items()
+            if isinstance(slot, PackedSlot)
+        ]
+        if not slots:
+            continue
+        predecessors = _live_predecessors(dht, node_id, 1)
+        if not predecessors:
+            continue
+        pred_id = predecessors[0]
+        if not dht.node_responsive(pred_id):
+            continue
+        pred_node = dht.node(pred_id)
+        wrote = 0
+        for slot_key, slot in slots:
+            metric, bit = cast(Tuple[Hashable, int], slot_key)
+            if not mapping.is_stored(bit):
+                continue
+            index = mapping.interval_index(bit)
+            if visible(index, node_id):
+                continue  # the walk already reaches this holder
+            if not visible(index, pred_id):
+                continue  # predecessor is no closer to the walk's reach
+            live = slot.live_mask(now)
+            if not live:
+                continue
+            pred_slot = pred_node.store.get(slot_key)
+            have = (
+                pred_slot.live_mask(now)
+                if isinstance(pred_slot, PackedSlot)
+                else 0
+            )
+            missing = live & ~have
+            for vector in bits_of(missing):
+                write_entry(pred_node, metric, vector, bit, _entry_expiry(slot, vector))
+                wrote += 1
+        if wrote:
+            cost.hops += 1
+            cost.messages += 1
+            cost.bytes += wrote * model.tuple_bytes
+            cost.repair_writes += wrote
+            dht.load.record(pred_id)
+
+
+def stabilize(
+    dht: DHTProtocol,
+    replication: int,
+    now: int = 0,
+    size_model: Optional[SizeModel] = None,
+    mapping: Optional[BitIntervalMap] = None,
+) -> OpCost:
+    """Rebuild successor replica chains after failures (one sweep).
+
+    Every live node offers its live DHS entries to its first
+    ``replication`` live successors, exactly like Chord's periodic
+    stabilization hands off key ranges.  A node is treated as a chain's
+    *primary* for the bits none of its ``replication`` live predecessors
+    hold — copying only those keeps the chain length bounded at
+    ``replication + 1`` across repeated sweeps instead of flooding the
+    ring.  Each replica that receives writes costs one hop plus the
+    copied tuple bytes; copies preserve the source expiry (immortal
+    stays immortal, TTL'd bits age out on schedule).
+
+    When the bit→interval ``mapping`` is supplied (the
+    :meth:`~repro.core.dhs.DistributedHashSketch.stabilize` facade always
+    passes it), the sweep first hands bits that spilled past their home
+    interval back to it, so replicas masked by a crashed-and-rejoined
+    primary become visible to the counting walk again (see
+    :func:`_handoff_to_interval`).
+    """
+    cost = OpCost()
+    if replication <= 0:
+        return cost
+    model = size_model if size_model is not None else DEFAULT_SIZE_MODEL
+    if mapping is not None:
+        _handoff_to_interval(dht, mapping, now, model, cost)
+    for node_id in list(dht.node_ids()):
+        if not dht.node_responsive(node_id):
+            continue
+        node = dht.node(node_id)
+        slots = [
+            (key, slot)
+            for key, slot in node.store.items()
+            if isinstance(slot, PackedSlot)
+        ]
+        if not slots:
+            continue
+        predecessors = _live_predecessors(dht, node_id, replication)
+        successors = replica_chain(dht, node_id, replication)
+        for replica_id in successors:
+            if not dht.node_responsive(replica_id):
+                continue
+            replica = dht.node(replica_id)
+            wrote = 0
+            for slot_key, slot in slots:
+                # DHS stores one PackedSlot per (metric, bit) key.
+                metric, bit = cast(Tuple[Hashable, int], slot_key)
+                live = slot.live_mask(now)
+                if not live:
+                    continue
+                pred_mask = 0
+                for pred_id in predecessors:
+                    pred_slot = dht.node(pred_id).store.get(slot_key)
+                    if isinstance(pred_slot, PackedSlot):
+                        pred_mask |= pred_slot.live_mask(now)
+                primary = live & ~pred_mask
+                if not primary:
+                    continue
+                replica_slot = replica.store.get(slot_key)
+                have = (
+                    replica_slot.live_mask(now)
+                    if isinstance(replica_slot, PackedSlot)
+                    else 0
+                )
+                missing = primary & ~have
+                for vector in bits_of(missing):
+                    write_entry(replica, metric, vector, bit, _entry_expiry(slot, vector))
+                    wrote += 1
+            if wrote:
+                cost.hops += 1
+                cost.messages += 1
+                cost.bytes += wrote * model.tuple_bytes
+                cost.repair_writes += wrote
+                dht.load.record(replica_id)
+    return cost

@@ -33,6 +33,20 @@ class LookupFailedError(OverlayError):
     """A DHT lookup could not be routed (e.g. all replicas failed)."""
 
 
+class MessageDropped(OverlayError):
+    """A routed message was lost in flight (fault-injection layer).
+
+    Raised by :class:`repro.overlay.faults.FaultInjector` when a
+    scripted fault drops a lookup/store/probe message; callers recover
+    through a :class:`repro.core.policy.RetryPolicy` (or degrade
+    gracefully when the retry budget is exhausted).
+    """
+
+    def __init__(self, operation: str = "message") -> None:
+        super().__init__(f"{operation} dropped by fault injection")
+        self.operation = operation
+
+
 class SketchError(ReproError):
     """Base class for sketch-level failures."""
 

@@ -16,6 +16,11 @@ from repro.experiments.common import (
     populate_relation,
     sample_counts,
 )
+from repro.experiments.faultmatrix import (
+    FaultMatrixRow,
+    format_faultmatrix,
+    run_faultmatrix,
+)
 from repro.experiments.histogram_accuracy import (
     HistogramAccuracyRow,
     format_histogram_accuracy,
@@ -47,6 +52,9 @@ __all__ = [
     "populate_metric",
     "populate_relation",
     "sample_counts",
+    "FaultMatrixRow",
+    "format_faultmatrix",
+    "run_faultmatrix",
     "HistogramAccuracyRow",
     "format_histogram_accuracy",
     "run_histogram_accuracy",

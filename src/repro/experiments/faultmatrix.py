@@ -1,0 +1,283 @@
+"""Experiment: the fault matrix — fault kind x intensity x policy x R.
+
+The paper analyses robustness with one knob (the undetected-failure
+fraction ``p_f``, §3.5) and one countermeasure (replication degree
+``R``).  This driver sweeps the richer fault model of
+:mod:`repro.overlay.faults` — ambient message drops, lazy crashes,
+crash-with-amnesia rejoins, transient outages — against the recovery
+machinery stacked on top of replication:
+
+``none``
+    The paper's baseline: no retries, no repair.  Default policy,
+    byte-identical to every other experiment when the plan is empty.
+``retry``
+    :class:`~repro.core.policy.RetryPolicy` with a budget of 3 attempts
+    and exponential backoff charged in logical hops.
+``retry+repair``
+    The retry policy plus self-healing: counting read-repairs stale
+    replicas in passing and one :func:`~repro.core.maintenance.stabilize`
+    sweep runs before the measured counts (both cost-accounted; the
+    repair parts are inert at ``R = 0`` where there are no replicas).
+
+Besides accuracy and hop cost, the matrix reports what the degraded-mode
+machinery says about each run: the fraction of counts flagged
+``degraded`` and the mean per-metric ``confidence`` (eq. 5 applied to
+budget-exhausted intervals).  A lossy run should *know* it is lossy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.core.policy import DEFAULT_POLICY, RetryPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.common import populate_metric
+from repro.experiments.report import format_table
+from repro.overlay.chord import ChordRing
+from repro.overlay.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.sim.parallel import TrialSpec, run_trials
+from repro.sim.seeds import derive_seed, rng_for
+
+__all__ = [
+    "FAULT_MATRIX_KINDS",
+    "POLICIES",
+    "FaultMatrixRow",
+    "run_faultmatrix",
+    "format_faultmatrix",
+]
+
+#: name -> (retry policy, use read-repair + stabilize).
+POLICIES: Dict[str, Tuple[RetryPolicy, bool]] = {
+    "none": (DEFAULT_POLICY, False),
+    "retry": (RetryPolicy(max_attempts=3, backoff_hops=1), False),
+    "retry+repair": (RetryPolicy(max_attempts=3, backoff_hops=1), True),
+}
+
+#: Fault kinds the matrix can sweep (drop = ambient message loss).
+FAULT_MATRIX_KINDS = ("drop", "lazy_crash", "crash", "amnesia", "transient")
+
+#: When the measured counts happen, per kind: mid-outage for transient
+#: faults, after the rejoin for amnesia, right after onset otherwise.
+_COUNT_TICK = {
+    "drop": 1,
+    "lazy_crash": 1,
+    "crash": 1,
+    "amnesia": 3,
+    "transient": 2,
+}
+
+
+def _plan_for(kind: str, intensity: float) -> FaultPlan:
+    """The fault script for one matrix cell.
+
+    Every kind strikes at tick 1 so the tick-0 population is always
+    clean; ``intensity`` is the drop probability or the victim fraction.
+    """
+    if kind not in FAULT_MATRIX_KINDS:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_MATRIX_KINDS}"
+        )
+    if intensity == 0.0:
+        return FaultPlan.empty()
+    if kind == "drop":
+        return FaultPlan(drop_probability=intensity, drop_from=1)
+    if kind == "amnesia":
+        event = FaultEvent("amnesia", at=1, fraction=intensity, duration=2)
+    elif kind == "transient":
+        event = FaultEvent("transient", at=1, fraction=intensity, duration=3)
+    else:
+        event = FaultEvent(kind, at=1, fraction=intensity, duration=0)
+    return FaultPlan(events=(event,))
+
+
+@dataclass
+class FaultMatrixRow:
+    """Mean outcome at one (fault, intensity, policy, R) point."""
+
+    fault: str
+    intensity: float
+    policy: str
+    replication: int
+    error_pct: float
+    hops: float
+    degraded_pct: float
+    confidence: float
+    repair_writes: float
+
+
+def _faultmatrix_cell(
+    seed: int,
+    *,
+    fault_kind: str,
+    intensity: float,
+    policy_name: str,
+    replication: int,
+    draw: int,
+    n_nodes: int,
+    n_items: int,
+    num_bitmaps: int,
+    estimator: str,
+    trials: int,
+) -> Tuple[float, float, float, float, float]:
+    """One matrix cell: inject, recover, count.
+
+    Returns mean ``(error, hops, degraded, confidence, repair_writes)``
+    over ``trials`` counts from random origins.  Deployment, fault and
+    origin seeds deliberately exclude the policy name: every policy
+    faces the *identical* ring, victims, drop stream and querying nodes,
+    so policy columns are paired comparisons rather than fresh draws.
+    """
+    cell = (fault_kind, str(intensity), replication, draw)
+    items = np.arange(n_items, dtype=np.int64)
+    ring = ChordRing.build(n_nodes, seed=derive_seed(seed, "ring", *cell))
+    injector = FaultInjector(
+        ring, _plan_for(fault_kind, intensity), seed=derive_seed(seed, "faults", *cell)
+    )
+    policy, repair = POLICIES[policy_name]
+    dhs = DistributedHashSketch(
+        injector,
+        DHSConfig(
+            num_bitmaps=num_bitmaps,
+            replication=replication,
+            estimator=estimator,
+            hash_seed=seed + draw,
+            read_repair=repair and replication > 0,
+        ),
+        seed=derive_seed(seed, "dhs", *cell),
+        policy=policy,
+    )
+    populate_metric(dhs, "docs", items, seed=derive_seed(seed, "load", *cell))
+    now = _COUNT_TICK[fault_kind]
+    injector.advance_to(now)
+    repair_writes = 0.0
+    if repair and replication > 0:
+        repair_writes += dhs.stabilize(now=now).repair_writes
+    rng = rng_for(seed, "origins", *cell)
+    errors: List[float] = []
+    hops: List[float] = []
+    degraded: List[float] = []
+    confidences: List[float] = []
+    for _ in range(trials):
+        origin = injector.random_live_node(rng)
+        result = dhs.count("docs", origin=origin, now=now)
+        errors.append(abs(result.estimate() / n_items - 1.0))
+        hops.append(float(result.cost.hops))
+        degraded.append(1.0 if result.degraded else 0.0)
+        confidences.append(min(result.confidence.values(), default=1.0))
+        repair_writes += result.cost.repair_writes
+    return (
+        sum(errors) / trials,
+        sum(hops) / trials,
+        sum(degraded) / trials,
+        sum(confidences) / trials,
+        repair_writes / trials,
+    )
+
+
+def run_faultmatrix(
+    fault_kinds: Sequence[str] = ("drop", "lazy_crash", "amnesia"),
+    intensities: Sequence[float] = (0.1, 0.3),
+    policies: Sequence[str] = ("none", "retry+repair"),
+    replications: Sequence[int] = (0, 2),
+    n_nodes: int = 64,
+    n_items: int = 10_000,
+    num_bitmaps: int = 32,
+    estimator: str = "sll",
+    trials: int = 2,
+    draws: int = 2,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[FaultMatrixRow]:
+    """Sweep the fault matrix; every cell is an independent deployment.
+
+    Cells are fanned out through :func:`~repro.sim.parallel.run_trials`
+    and every random choice flows through ``derive_seed`` label paths,
+    so the grid is bit-identical at any ``DHS_JOBS`` width.
+    """
+    for name in policies:
+        if name not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {name!r}; expected one of {sorted(POLICIES)}"
+            )
+    specs = [
+        TrialSpec(
+            fn=_faultmatrix_cell,
+            seed=seed,
+            kwargs={
+                "fault_kind": kind,
+                "intensity": intensity,
+                "policy_name": policy,
+                "replication": replication,
+                "draw": draw,
+                "n_nodes": n_nodes,
+                "n_items": n_items,
+                "num_bitmaps": num_bitmaps,
+                "estimator": estimator,
+                "trials": trials,
+            },
+            label=f"faultmatrix/{kind}/i{intensity}/{policy}/R{replication}/d{draw}",
+        )
+        for kind in fault_kinds
+        for intensity in intensities
+        for policy in policies
+        for replication in replications
+        for draw in range(draws)
+    ]
+    results = run_trials(specs, jobs=jobs)
+    accum: Dict[Tuple[str, float, str, int], List[Tuple[float, ...]]] = {}
+    for spec, point in zip(specs, results):
+        key = (
+            spec.kwargs["fault_kind"],
+            spec.kwargs["intensity"],
+            spec.kwargs["policy_name"],
+            spec.kwargs["replication"],
+        )
+        accum.setdefault(key, []).append(point)
+    rows: List[FaultMatrixRow] = []
+    for kind in fault_kinds:
+        for intensity in intensities:
+            for policy in policies:
+                for replication in replications:
+                    points = accum[(kind, intensity, policy, replication)]
+                    mean = [sum(column) / len(points) for column in zip(*points)]
+                    rows.append(
+                        FaultMatrixRow(
+                            fault=kind,
+                            intensity=intensity,
+                            policy=policy,
+                            replication=replication,
+                            error_pct=100 * mean[0],
+                            hops=mean[1],
+                            degraded_pct=100 * mean[2],
+                            confidence=mean[3],
+                            repair_writes=mean[4],
+                        )
+                    )
+    return rows
+
+
+def format_faultmatrix(rows: List[FaultMatrixRow]) -> str:
+    """Render the fault matrix grid."""
+    return format_table(
+        "Fault matrix: fault x intensity x policy x replication",
+        ["fault", "p", "policy", "R", "error %", "hops", "degr %", "conf", "repairs"],
+        [
+            [
+                row.fault,
+                f"{row.intensity:.2f}",
+                row.policy,
+                row.replication,
+                f"{row.error_pct:.1f}",
+                f"{row.hops:.0f}",
+                f"{row.degraded_pct:.0f}",
+                f"{row.confidence:.3f}",
+                f"{row.repair_writes:.1f}",
+            ]
+            for row in rows
+        ],
+    )

@@ -1,8 +1,9 @@
 """DHT overlay substrate: id space, Chord, Kademlia, replication, failures."""
 
 from repro.overlay.chord import ChordRing
-from repro.overlay.dht import DHTProtocol, LookupResult
+from repro.overlay.dht import DHTProtocol, FaultHooks, LookupResult
 from repro.overlay.failures import fail_fraction, fail_nodes
+from repro.overlay.faults import FAULT_KINDS, FaultEvent, FaultInjector, FaultPlan
 from repro.overlay.idspace import IdSpace
 from repro.overlay.kademlia import KademliaOverlay
 from repro.overlay.messages import DEFAULT_SIZE_MODEL, SizeModel
@@ -14,9 +15,14 @@ from repro.overlay.stats import LoadTracker, OpCost
 __all__ = [
     "ChordRing",
     "DHTProtocol",
+    "FaultHooks",
     "LookupResult",
     "fail_fraction",
     "fail_nodes",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "IdSpace",
     "KademliaOverlay",
     "DEFAULT_SIZE_MODEL",

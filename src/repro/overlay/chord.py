@@ -250,17 +250,21 @@ class ChordRing(DHTProtocol):
         self.load.record(origin)
         destination = self.owner_of(key)
         while True:
-            if not self.is_alive(destination):
+            if not self.node_responsive(destination):
                 # Timed-out contact with the owner: pay the probe, evict
-                # it, and walk its successor list — evicting every
-                # consecutive dead heir — before resuming the route.
-                # Without the walk, a dead owner whose first successor
-                # is also dead would be re-resolved (and re-probed) one
-                # eviction per loop iteration.
-                while not self.is_alive(destination):
-                    cost.hops += 1
-                    cost.messages += 1
-                    self.repair(destination)
+                # it, and re-resolve — repeating for every consecutive
+                # dead heir — before resuming the route.  When the fault
+                # layer vetoes the eviction (transient outage), the
+                # route settles on the owner's first responsive
+                # successor instead, exactly as a Chord successor list
+                # would be used.
+                cost.hops += 1
+                cost.messages += 1
+                cost.timeouts += 1
+                self.timeout_repair(destination)
+                if self.has_node(destination):
+                    destination = self._next_responsive(destination, cost)
+                else:
                     destination = self.owner_of(key)
                 continue
             if current == destination:
@@ -269,10 +273,22 @@ class ChordRing(DHTProtocol):
             if nxt is None:
                 # key lies between current and its successor: last hop.
                 nxt = self.successor_id(current)
-            if not self.is_alive(nxt):
+            if not self.node_responsive(nxt):
                 cost.hops += 1
                 cost.messages += 1
-                self.repair(nxt)
+                cost.timeouts += 1
+                self.timeout_repair(nxt)
+                if self.has_node(nxt):
+                    # Eviction vetoed: relay through the unresponsive
+                    # node's first responsive successor (known from its
+                    # successor list), paying the routed hop to it.
+                    current = self._next_responsive(nxt, cost)
+                    cost.hops += 1
+                    cost.messages += 1
+                    if trace:
+                        cost.nodes_visited.append(current)
+                    self.load.record(current)
+                    continue
                 destination = self.owner_of(key)
                 continue
             current = nxt

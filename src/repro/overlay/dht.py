@@ -19,12 +19,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, cast
 
-from repro.errors import EmptyOverlayError, NodeNotFoundError
+from repro.errors import EmptyOverlayError, LookupFailedError, NodeNotFoundError
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import Node, StoreValue
 from repro.overlay.stats import LoadTracker, OpCost
 
-__all__ = ["DHTProtocol", "LookupResult"]
+__all__ = ["DHTProtocol", "FaultHooks", "LookupResult"]
 
 
 @dataclass
@@ -33,6 +33,24 @@ class LookupResult:
 
     node_id: int
     cost: OpCost
+
+
+class FaultHooks(ABC):
+    """Routing-time questions a fault-injection layer answers.
+
+    Implemented by :class:`repro.overlay.faults.FaultInjector`; the
+    overlay consults the installed instance (``self.fault_layer``)
+    during lookups so transient outages cost timeout hops without
+    permanently mutating the membership.
+    """
+
+    @abstractmethod
+    def responsive(self, node_id: int) -> bool:
+        """Whether the (alive) node currently answers messages."""
+
+    @abstractmethod
+    def veto_eviction(self, node_id: int) -> bool:
+        """Whether a timed-out node must *not* be evicted (transient)."""
 
 
 class DHTProtocol(ABC):
@@ -60,6 +78,14 @@ class DHTProtocol(ABC):
         self.store_merge: Optional[
             Callable[[Optional[StoreValue], StoreValue], StoreValue]
         ] = None
+        #: Optional fault-injection layer (see :mod:`repro.overlay.faults`).
+        #: When installed, routing consults it for transient
+        #: unresponsiveness and it can veto the eviction of nodes that
+        #: merely timed out.  ``None`` (the default) keeps the bare-ring
+        #: fast path: :meth:`node_responsive` is then exactly
+        #: :meth:`is_alive` and :meth:`timeout_repair` exactly
+        #: :meth:`repair`.
+        self.fault_layer: Optional["FaultHooks"] = None
 
     # ------------------------------------------------------------------
     # Membership.
@@ -145,6 +171,55 @@ class DHTProtocol(ABC):
         """Evict a discovered-dead node from the routing state."""
         if node_id in self._nodes:
             self.remove_node(node_id, graceful=False)
+
+    # ------------------------------------------------------------------
+    # Fault-layer indirection (routing-time liveness and eviction).
+    # ------------------------------------------------------------------
+    def node_responsive(self, node_id: int) -> bool:
+        """Whether ``node_id`` would answer a message right now.
+
+        Differs from :meth:`is_alive` only when a fault layer is
+        installed: a transiently-unresponsive (or partitioned) node is
+        alive but does not answer, so routing pays a timeout hop without
+        the node having crashed.
+        """
+        fault = self.fault_layer
+        if fault is None:
+            return self.is_alive(node_id)
+        return self.is_alive(node_id) and fault.responsive(node_id)
+
+    def timeout_repair(self, node_id: int) -> None:
+        """Evict a node that timed out during routing.
+
+        The fault layer can veto the eviction: a transient outage looks
+        like a crash to the router, but evicting the node would lose its
+        (still intact) membership permanently.
+        """
+        fault = self.fault_layer
+        if fault is not None and fault.veto_eviction(node_id):
+            return
+        self.repair(node_id)
+
+    def _next_responsive(self, node_id: int, cost: OpCost) -> int:
+        """First responsive node clockwise of ``node_id``.
+
+        Walks the successor chain the way a router consults a successor
+        list whose leading entries are down: one timeout hop is charged
+        per unresponsive node tried, and each corpse is offered for
+        eviction (the fault layer vetoes transient outages).
+        """
+        budget = len(self._ids) + 1
+        current = node_id
+        for _ in range(budget):
+            candidate = self.successor_id(current)
+            if self.node_responsive(candidate):
+                return candidate
+            cost.hops += 1
+            cost.messages += 1
+            cost.timeouts += 1
+            self.timeout_repair(candidate)
+            current = candidate
+        raise LookupFailedError("no responsive node reachable on the ring")
 
     def _insert_sorted(self, node_id: int) -> None:
         index = bisect.bisect_left(self._ids, node_id)

@@ -143,26 +143,47 @@ class KademliaOverlay(DHTProtocol):
         current = origin
         cost = OpCost(nodes_visited=[origin], lookups=1)
         self.load.record(origin)
+        destination = self.owner_of(key)
+        #: Greedy-routing goal: the key itself, unless a vetoed-eviction
+        #: fallback re-pins the destination to a nearby responsive node —
+        #: routing then converges on that node's own id.
+        target = key
         while True:
-            destination = self.owner_of(key)
-            if not self.is_alive(destination):
+            if not self.node_responsive(destination):
                 cost.hops += 1
                 cost.messages += 1
-                self.repair(destination)
+                cost.timeouts += 1
+                self.timeout_repair(destination)
+                if self.has_node(destination):
+                    # Eviction vetoed (transient outage): settle on the
+                    # first responsive ring neighbour and route to it.
+                    destination = self._next_responsive(destination, cost)
+                    target = destination
+                else:
+                    destination = self.owner_of(key)
                 continue
             if current == destination:
                 break
-            i = (current ^ key).bit_length() - 1
+            i = (current ^ target).bit_length() - 1
             contact = self.bucket_contact(current, i)
             if contact is None:
-                # No node shares key's bit i in this subtree, yet the
+                # No node shares target's bit i in this subtree, yet the
                 # destination is closer than current — impossible unless
                 # the owner is current's numeric twin; fall back directly.
                 contact = destination
-            if not self.is_alive(contact):
+            if not self.node_responsive(contact):
                 cost.hops += 1
                 cost.messages += 1
-                self.repair(contact)
+                cost.timeouts += 1
+                self.timeout_repair(contact)
+                if self.has_node(contact):
+                    # Eviction vetoed: skip the cached contact and hop
+                    # straight to the (responsive) destination.
+                    current = destination
+                    cost.hops += 1
+                    cost.messages += 1
+                    cost.nodes_visited.append(current)
+                    self.load.record(current)
                 continue
             current = contact
             cost.hops += 1

@@ -173,36 +173,57 @@ class PastryOverlay(DHTProtocol):
         current = origin
         cost = OpCost(nodes_visited=[origin], lookups=1)
         self.load.record(origin)
+        destination = self.owner_of(key)
+        #: Prefix-routing goal: the key itself, unless a vetoed-eviction
+        #: fallback re-pins the destination to a nearby responsive node —
+        #: routing then converges on that node's own id.
+        target = key
         while True:
-            destination = self.owner_of(key)
-            if not self.is_alive(destination):
+            if not self.node_responsive(destination):
                 cost.hops += 1
                 cost.messages += 1
-                self.repair(destination)
+                cost.timeouts += 1
+                self.timeout_repair(destination)
+                if self.has_node(destination):
+                    # Eviction vetoed (transient outage): settle on the
+                    # first responsive ring neighbour and route to it.
+                    destination = self._next_responsive(destination, cost)
+                    target = destination
+                else:
+                    destination = self.owner_of(key)
                 continue
             if current == destination:
                 break
-            contact = self.routing_contact(current, key)
+            contact = self.routing_contact(current, target)
             if contact is not None and contact != current and (
-                self.shared_digits(contact, key) > self.shared_digits(current, key)
+                self.shared_digits(contact, target) > self.shared_digits(current, target)
             ):
                 nxt = contact
             else:
                 # Leaf-set step: Pastry keeps ``2 * LEAF_SET_HALF``
                 # numeric neighbours; when the routing cell is empty,
-                # jump to the leaf closest to the key (the destination
+                # jump to the leaf closest to the target (the destination
                 # itself once it enters the leaf set).
                 leaves = self._leaf_set(current)
                 nxt = min(
                     leaves,
-                    key=lambda node: self._circular_distance(node, key),
+                    key=lambda node: self._circular_distance(node, target),
                 )
-                if self._circular_distance(nxt, key) >= self._circular_distance(current, key):
+                if self._circular_distance(nxt, target) >= self._circular_distance(current, target):
                     nxt = destination  # equidistant twin: one direct hop
-            if not self.is_alive(nxt):
+            if not self.node_responsive(nxt):
                 cost.hops += 1
                 cost.messages += 1
-                self.repair(nxt)
+                cost.timeouts += 1
+                self.timeout_repair(nxt)
+                if self.has_node(nxt):
+                    # Eviction vetoed: skip the unresponsive contact and
+                    # hop straight to the (responsive) destination.
+                    current = destination
+                    cost.hops += 1
+                    cost.messages += 1
+                    cost.nodes_visited.append(current)
+                    self.load.record(current)
                 continue
             current = nxt
             cost.hops += 1

@@ -19,14 +19,24 @@ __all__ = ["replicate_to_successors", "replica_chain"]
 
 
 def replica_chain(dht: DHTProtocol, node_id: int, degree: int) -> List[int]:
-    """The ``degree`` distinct successors of ``node_id`` (live nodes)."""
+    """The first ``degree`` distinct *live* successors of ``node_id``.
+
+    Lazily-failed nodes (``mark_failed``) still occupy ring positions but
+    have lost their stores — writing a replica there would silently void
+    the ``p_f^R`` bit-survival guarantee, so the walk skips them.
+    """
     chain: List[int] = []
     current = node_id
-    for _ in range(degree):
+    # Bounded by the ring size: ``node_id`` may have been evicted, in
+    # which case the walk never revisits it and must stop after one lap.
+    for _ in range(dht.size):
+        if len(chain) >= degree:
+            break
         current = dht.successor_id(current)
         if current == node_id:
             break  # wrapped around a tiny ring
-        chain.append(current)
+        if dht.is_alive(current):
+            chain.append(current)
     return chain
 
 

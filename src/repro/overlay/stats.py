@@ -32,6 +32,15 @@ class OpCost:
     messages: int = 0
     nodes_visited: List[int] = field(default_factory=list)
     lookups: int = 0
+    #: Messages that timed out (dropped in flight or sent to a corpse and
+    #: charged as a timeout hop by the retry machinery).
+    timeouts: int = 0
+    #: Retry attempts performed by a :class:`repro.core.policy.RetryPolicy`.
+    retries: int = 0
+    #: Messages lost for good after the retry budget ran out.
+    drops: int = 0
+    #: DHS entries re-written by read-repair / ``stabilize`` passes.
+    repair_writes: int = 0
 
     def add(self, other: "OpCost") -> "OpCost":
         """Accumulate ``other`` into this cost (in place)."""
@@ -40,6 +49,10 @@ class OpCost:
         self.messages += other.messages
         self.nodes_visited.extend(other.nodes_visited)
         self.lookups += other.lookups
+        self.timeouts += other.timeouts
+        self.retries += other.retries
+        self.drops += other.drops
+        self.repair_writes += other.repair_writes
         return self
 
     def __iadd__(self, other: "OpCost") -> "OpCost":

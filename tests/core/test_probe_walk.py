@@ -86,6 +86,83 @@ class TestWalkOrder:
         assert len(probed) == 1
 
 
+def run_probe(dhs, origin, key):
+    """Probe position 0's interval from ``origin`` with a pinned key."""
+    from repro.core.count import CountResult
+    from repro.overlay.stats import OpCost
+
+    counter: Counter = dhs._counter
+    result = CountResult(estimates={}, sketches={}, cost=OpCost(), confidence={"m": 1.0})
+    counter._probe_interval(
+        counter.mapping.interval_index(0),
+        0,
+        {"m": 0b1},
+        origin=origin,
+        now=0,
+        result=result,
+        key=key,
+    )
+    return result
+
+
+class TestTimeoutAccounting:
+    """A lazily-failed node met mid-walk: one timeout hop, then route on.
+
+    The origin is the interval's first owner, so the lookup is zero hops
+    and never touches the corpse — it must be *discovered by the probe
+    walk*, charged exactly one timeout, and walked past.
+    """
+
+    # key 32900 is owned by 33000 (the interval's first node).
+    KEY = 32900
+
+    def _walk(self, replication):
+        ring = ChordRing.from_ids(sorted(IN_INTERVAL + BELOW), bits=16, trace=True)
+        config = DHSConfig(key_bits=8, num_bitmaps=1, lim=10, replication=replication)
+        dhs = DistributedHashSketch(ring, config, seed=1)
+        ring.mark_failed(40000)
+        result = run_probe(dhs, origin=33000, key=self.KEY)
+        return ring, result
+
+    @pytest.mark.parametrize("replication", [0, 2])
+    def test_one_timeout_hop_then_route_on(self, replication):
+        ring, result = self._walk(replication)
+        # The dead node was contacted once (one timeout), and the walk
+        # went on to cover the rest of the interval plus the overflow
+        # owner — the corpse does not end the scan.
+        assert result.cost.timeouts == 1
+        assert result.probed_nodes == [33000, 40000, 50000, 60000, min(BELOW)]
+        # The first target rides on the lookup; every later probe is one
+        # hop.  The dead contact's hop was already paid by the walk, so
+        # the PR3 cost identity survives faults unchanged.
+        assert result.cost.hops == result.probes - 1
+        assert result.cost.messages == result.cost.hops
+
+    @pytest.mark.parametrize("replication", [0, 2])
+    def test_corpse_evicted_on_contact(self, replication):
+        ring, result = self._walk(replication)
+        # Lazy failures are discovered (and evicted) on contact (§3.5).
+        assert not ring.has_node(40000)
+
+    def test_transient_node_times_out_but_survives(self):
+        from repro.overlay.faults import FaultEvent, FaultInjector, FaultPlan
+
+        ring = ChordRing.from_ids(sorted(IN_INTERVAL + BELOW), bits=16, trace=True)
+        plan = FaultPlan(
+            events=(FaultEvent("transient", at=1, node_ids=(40000,), duration=5),)
+        )
+        injector = FaultInjector(ring, plan, seed=0)
+        config = DHSConfig(key_bits=8, num_bitmaps=1, lim=10)
+        dhs = DistributedHashSketch(injector, config, seed=1)
+        injector.advance_to(1)
+        result = run_probe(dhs, origin=33000, key=self.KEY)
+        # Same timeout charge as a crash, but the fault layer vetoes the
+        # eviction: the node keeps its membership (and its store).
+        assert result.cost.timeouts == 1
+        assert result.cost.hops == result.probes - 1
+        assert ring.has_node(40000)
+
+
 class TestOverflowOwner:
     def test_wrapped_overflow_owner_holds_interval_tuples(self):
         """Keys above the last in-interval node wrap to the ring's first

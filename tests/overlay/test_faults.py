@@ -1,0 +1,283 @@
+"""Tests for the deterministic fault injector (repro.overlay.faults)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MessageDropped
+from repro.overlay.chord import ChordRing
+from repro.overlay.faults import FaultEvent, FaultInjector, FaultPlan
+
+IDS = [100, 5000, 20000, 33000, 40000, 50000, 60000]
+
+
+def make_ring(trace=False):
+    return ChordRing.from_ids(IDS, bits=16, trace=trace)
+
+
+def wrap(plan=None, seed=0, trace=False):
+    ring = make_ring(trace=trace)
+    return ring, FaultInjector(ring, plan or FaultPlan.empty(), seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Plan / event validation.
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("meteor", at=0, node_ids=(1,))
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("crash", at=-1, node_ids=(1,))
+
+    def test_exactly_one_victim_selector(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("crash", at=0)
+        with pytest.raises(ConfigurationError):
+            FaultEvent("crash", at=0, node_ids=(1,), fraction=0.5)
+
+    def test_timed_kinds_need_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("transient", at=0, node_ids=(1,))
+        with pytest.raises(ConfigurationError):
+            FaultEvent("amnesia", at=0, node_ids=(1,))
+
+    def test_permanent_kinds_forbid_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent("crash", at=0, node_ids=(1,), duration=3)
+
+    def test_drop_probability_range(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(drop_probability=-0.1)
+
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan.empty().is_empty
+        assert not FaultPlan(drop_probability=0.5).is_empty
+
+    def test_double_wrap_rejected(self):
+        ring, injector = wrap()
+        with pytest.raises(ConfigurationError):
+            FaultInjector(ring, FaultPlan.empty())
+
+    def test_clock_cannot_run_backwards(self):
+        ring, injector = wrap()
+        injector.advance_to(5)
+        with pytest.raises(ConfigurationError):
+            injector.advance_to(3)
+
+
+# ----------------------------------------------------------------------
+# Empty-plan passthrough.
+# ----------------------------------------------------------------------
+class TestPassthrough:
+    def test_empty_plan_lookup_identical_to_bare_ring(self):
+        bare = make_ring()
+        ring, injector = wrap()
+        for key in (0, 12345, 47000, 65535):
+            a = bare.lookup(key, origin=100)
+            b = injector.lookup(key, origin=100)
+            assert (a.node_id, a.cost.hops) == (b.node_id, b.cost.hops)
+
+    def test_empty_plan_creates_no_drop_rng(self):
+        _, injector = wrap()
+        assert injector._drop_rng is None
+
+    def test_membership_shared_with_inner(self):
+        ring, injector = wrap()
+        injector.add_node(31000)
+        assert ring.has_node(31000)
+        injector.remove_node(31000)
+        assert not ring.has_node(31000)
+
+
+# ----------------------------------------------------------------------
+# Message drops.
+# ----------------------------------------------------------------------
+class TestDrops:
+    def test_drops_are_seed_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            _, injector = wrap(FaultPlan(drop_probability=0.5), seed=42)
+            row = []
+            for key in range(40):
+                try:
+                    injector.lookup(key * 1000, origin=100)
+                    row.append(False)
+                except MessageDropped:
+                    row.append(True)
+            outcomes.append(row)
+        assert outcomes[0] == outcomes[1]
+        assert any(outcomes[0]) and not all(outcomes[0])
+
+    def test_different_seed_different_stream(self):
+        rows = []
+        for seed in (1, 2):
+            _, injector = wrap(FaultPlan(drop_probability=0.5), seed=seed)
+            rows.append(
+                [
+                    isinstance(_try_lookup(injector, key * 997), MessageDropped)
+                    for key in range(64)
+                ]
+            )
+        assert rows[0] != rows[1]
+
+    def test_drop_from_delays_losses(self):
+        _, injector = wrap(FaultPlan(drop_probability=0.999, drop_from=5), seed=0)
+        # Before tick 5 nothing is dropped, whatever the probability.
+        for key in range(20):
+            injector.lookup(key * 1000, origin=100)
+        assert injector.dropped_messages == 0
+        injector.advance_to(5)
+        with pytest.raises(MessageDropped):
+            for key in range(100):
+                injector.lookup(key * 600, origin=100)
+        assert injector.dropped_messages == 1
+
+    def test_store_and_probe_also_drop(self):
+        _, injector = wrap(FaultPlan(drop_probability=0.999), seed=0)
+        with pytest.raises(MessageDropped):
+            for _ in range(50):
+                injector.store(1234, lambda node: None, origin=100)
+        with pytest.raises(MessageDropped):
+            for _ in range(50):
+                injector.probe(100, lambda node: None)
+
+
+def _try_lookup(injector, key):
+    try:
+        return injector.lookup(key, origin=100)
+    except MessageDropped as exc:
+        return exc
+
+
+# ----------------------------------------------------------------------
+# Scripted events.
+# ----------------------------------------------------------------------
+class TestEvents:
+    def test_lazy_crash_marks_not_evicts(self):
+        ring, injector = wrap(
+            FaultPlan(events=(FaultEvent("lazy_crash", at=1, node_ids=(33000,)),))
+        )
+        injector.advance_to(1)
+        assert ring.has_node(33000)
+        assert not ring.is_alive(33000)
+
+    def test_crash_leaves_membership(self):
+        ring, injector = wrap(
+            FaultPlan(events=(FaultEvent("crash", at=1, node_ids=(33000,)),))
+        )
+        injector.advance_to(1)
+        assert not ring.has_node(33000)
+
+    def test_events_not_applied_before_their_tick(self):
+        ring, injector = wrap(
+            FaultPlan(events=(FaultEvent("crash", at=3, node_ids=(33000,)),))
+        )
+        injector.advance_to(2)
+        assert ring.has_node(33000)
+        injector.advance_to(3)
+        assert not ring.has_node(33000)
+
+    def test_transient_node_down_then_back_with_store(self):
+        ring, injector = wrap(
+            FaultPlan(
+                events=(FaultEvent("transient", at=2, node_ids=(33000,), duration=3),)
+            )
+        )
+        ring.node(33000).store["k"] = "v"
+        injector.advance_to(2)
+        assert not injector.responsive(33000)
+        assert injector.veto_eviction(33000)
+        # Routing discovers the outage, charges a timeout, but the fault
+        # layer vetoes the eviction.
+        ring.timeout_repair(33000)
+        assert ring.has_node(33000)
+        injector.advance_to(5)
+        assert injector.responsive(33000)
+        assert ring.node(33000).store["k"] == "v"
+
+    def test_partition_takes_down_a_set_together(self):
+        ring, injector = wrap(
+            FaultPlan(
+                events=(
+                    FaultEvent(
+                        "partition", at=1, node_ids=(100, 5000, 20000), duration=2
+                    ),
+                )
+            )
+        )
+        injector.advance_to(1)
+        assert all(not injector.responsive(n) for n in (100, 5000, 20000))
+        assert all(injector.responsive(n) for n in (33000, 40000, 50000, 60000))
+        injector.advance_to(3)
+        assert all(injector.responsive(n) for n in IDS)
+
+    def test_amnesia_rejoins_with_empty_store(self):
+        ring, injector = wrap(
+            FaultPlan(events=(FaultEvent("amnesia", at=1, node_ids=(33000,), duration=2),))
+        )
+        ring.node(33000).store["k"] = "v"
+        injector.advance_to(1)
+        assert not ring.is_alive(33000)
+        injector.advance_to(3)
+        assert ring.is_alive(33000)
+        assert ring.node(33000).store == {}
+
+    def test_amnesiac_evicted_while_down_rejoins_as_new_member(self):
+        ring, injector = wrap(
+            FaultPlan(events=(FaultEvent("amnesia", at=1, node_ids=(33000,), duration=2),))
+        )
+        injector.advance_to(1)
+        # A lookup discovers the corpse and evicts it before the rejoin.
+        ring.timeout_repair(33000)
+        assert not ring.has_node(33000)
+        injector.advance_to(3)
+        assert ring.has_node(33000)
+        assert ring.is_alive(33000)
+        assert ring.node(33000).store == {}
+
+    def test_fraction_victims_deterministic_and_sized(self):
+        picks = []
+        for _ in range(2):
+            ring, injector = wrap(
+                FaultPlan(events=(FaultEvent("lazy_crash", at=1, fraction=0.4),)),
+                seed=7,
+            )
+            injector.advance_to(1)
+            picks.append(sorted(n for n in IDS if not ring.is_alive(n)))
+        assert picks[0] == picks[1]
+        assert len(picks[0]) == round(0.4 * len(IDS))
+
+    def test_same_tick_order_rejoins_before_events(self):
+        # The amnesiac comes back at tick 3; a lazy_crash at tick 3 then
+        # strikes the *live* membership including it.
+        ring, injector = wrap(
+            FaultPlan(
+                events=(
+                    FaultEvent("amnesia", at=1, node_ids=(33000,), duration=2),
+                    FaultEvent("lazy_crash", at=3, node_ids=(33000,)),
+                )
+            )
+        )
+        injector.advance_to(3)
+        assert ring.has_node(33000)
+        assert not ring.is_alive(33000)
+
+    def test_batched_advance_equals_stepped_advance(self):
+        plan = FaultPlan(
+            events=(
+                FaultEvent("amnesia", at=1, fraction=0.3, duration=2),
+                FaultEvent("transient", at=2, fraction=0.3, duration=2),
+                FaultEvent("lazy_crash", at=4, fraction=0.2),
+            )
+        )
+        ring_a, inj_a = wrap(plan, seed=11)
+        inj_a.advance_to(6)
+        ring_b, inj_b = wrap(plan, seed=11)
+        for t in range(7):
+            inj_b.advance_to(t)
+        state_a = [(n, ring_a.is_alive(n)) for n in sorted(ring_a.node_ids())]
+        state_b = [(n, ring_b.is_alive(n)) for n in sorted(ring_b.node_ids())]
+        assert state_a == state_b

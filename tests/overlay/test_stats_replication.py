@@ -104,6 +104,32 @@ class TestReplication:
         ring = ChordRing.from_ids([10, 50, 200], bits=8)
         assert replica_chain(ring, 200, 2) == [10, 50]
 
+    def test_chain_skips_lazily_failed_successor(self):
+        # Docstring contract: replicas land on *live* nodes only.  A
+        # lazily-failed first successor still holds its ring position,
+        # so the walk must step over it to the next live node.
+        ring = ChordRing.from_ids([10, 50, 100, 200], bits=8)
+        ring.mark_failed(50)
+        assert replica_chain(ring, 10, 2) == [100, 200]
+
+    def test_chain_terminates_when_origin_evicted(self):
+        ring = ChordRing.from_ids([10, 50, 100], bits=8)
+        ring.fail_node(10)
+        # The walk can never revisit the evicted origin; it must stop
+        # after one lap instead of looping.
+        assert replica_chain(ring, 10, 5) == [50, 100]
+
+    def test_replicate_skips_dead_first_successor(self):
+        ring = ChordRing.from_ids([10, 50, 100, 200], bits=8)
+        ring.mark_failed(50)
+        cost = replicate_to_successors(
+            ring, 10, lambda n: n.store.update({"bit": 1}), degree=2
+        )
+        assert ring.node(100).store["bit"] == 1
+        assert ring.node(200).store["bit"] == 1
+        assert "bit" not in ring.node(50).store
+        assert cost is not None and cost.hops == 2
+
     def test_chain_stops_at_full_circle(self):
         ring = ChordRing.from_ids([10, 50], bits=8)
         assert replica_chain(ring, 10, 5) == [50]

@@ -20,6 +20,7 @@ class TestCatalogue:
             "multidim",
             "churn",
             "robustness",
+            "faultmatrix",
             "ablations",
         }
         assert set(EXPERIMENTS) == expected

@@ -377,6 +377,58 @@ class TestUnseededTrialSpec:
 
 
 # ----------------------------------------------------------------------
+# DHS601 — real-time waits in the simulation package
+# ----------------------------------------------------------------------
+class TestRealTimeWait:
+    def test_time_sleep_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import time\ntime.sleep(0.5)\n",
+            module="repro.overlay.faults",
+        )
+        assert codes == ["DHS601"]
+
+    def test_from_import_alias_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from time import sleep as zzz\nzzz(1)\n",
+            module="repro.core.policy",
+        )
+        assert codes == ["DHS601"]
+
+    def test_asyncio_sleep_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import asyncio\n\nasync def f():\n    await asyncio.sleep(1)\n",
+            module="repro.core.maintenance",
+        )
+        assert codes == ["DHS601"]
+
+    def test_threading_timer_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import threading\nt = threading.Timer(5.0, print)\n",
+            module="repro.sim.churn",
+        )
+        assert codes == ["DHS601"]
+
+    def test_outside_package_not_checked(self, tmp_path):
+        # Benchmarks / tools may legitimately sleep (e.g. warm-up loops);
+        # the rule polices only the simulation package itself.
+        codes, _ = lint(tmp_path, "import time\ntime.sleep(0.5)\n")
+        assert codes == []
+
+    def test_logical_clock_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "def wait(injector, ticks):\n"
+            "    injector.advance_to(injector.clock + ticks)\n",
+            module="repro.overlay.faults",
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions and config
 # ----------------------------------------------------------------------
 class TestSuppressions:
@@ -470,6 +522,7 @@ class TestCli:
             "DHS101", "DHS102", "DHS103",
             "DHS201", "DHS202", "DHS203",
             "DHS301", "DHS401", "DHS402", "DHS403",
+            "DHS501", "DHS502", "DHS601",
         ):
             assert code in result.stdout
 

@@ -6,4 +6,5 @@ from tools.analyze.rules import (  # noqa: F401
     generic,
     layering,
     parallelism,
+    robustness,
 )

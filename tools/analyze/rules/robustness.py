@@ -1,0 +1,72 @@
+"""Robustness rules (DHS6xx).
+
+The fault-injection and retry machinery runs entirely on a *logical*
+clock: outage windows are ticks (`FaultInjector.advance_to`), retry
+backoff is charged in hops (`RetryPolicy.backoff_cost`), and nothing in
+the library ever waits for real time to pass.  Together with DHS102
+(which flags wall-clock *reads* like ``time.time`` / ``datetime.now``),
+DHS601 closes the family: no wall-clock API — read or wait — survives
+inside ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from tools.analyze.engine import FileContext, Rule, Violation, register
+from tools.analyze.rules._imports import ImportTable
+
+#: APIs that block on, or schedule against, host wall-clock time.
+_WAIT_CALLS = frozenset(
+    {
+        "time.sleep",
+        "asyncio.sleep",
+        "asyncio.wait_for",
+        "threading.Timer",
+        "signal.alarm",
+        "signal.setitimer",
+        "socket.setdefaulttimeout",
+        "select.select",
+        "sched.scheduler",
+    }
+)
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class RealTimeWait(Rule):
+    """DHS601 — sleeping / real-time scheduling in the simulation package."""
+
+    code = "DHS601"
+    name = "real-time-wait"
+    rationale = (
+        "Faults, outage windows and retry backoff are modelled on the "
+        "logical clock and charged in hops — `time.sleep()` (or any timer "
+        "scheduled against the host clock) stalls the simulation without "
+        "moving it, couples runs to the host machine, and hides the cost "
+        "the paper's analysis accounts for. Advance the logical clock "
+        "(`FaultInjector.advance_to`) or charge hops "
+        "(`RetryPolicy.backoff_cost`) instead."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if not ctx.in_package():
+            return []
+        table = ImportTable(ctx.tree)
+        out: List[Violation] = []
+        for call in _calls(ctx.tree):
+            origin = table.resolve(call.func)
+            if origin in _WAIT_CALLS:
+                out.append(
+                    self.violation(
+                        ctx, call, f"`{origin}()` waits on the host wall clock; "
+                        "model time as logical ticks and backoff as hop cost"
+                    )
+                )
+        return out

@@ -37,6 +37,7 @@ PREFERRED_ORDER = [
     "multidim",
     "churn_policies",
     "failure_robustness",
+    "fault_matrix",
     "ablation_retries",
     "ablation_replication",
     "ablation_bitshift",
