@@ -18,6 +18,13 @@ intersection of benchmark names.
 worker count reproduces the serial rows bit for bit).  A false flag in
 the *current* run fails the check outright — that is a correctness bug,
 not a performance regression, so no tolerance factor applies.
+
+``count_traced/*`` and ``insert_traced/*`` entries carry
+``overhead_vs_disabled_pct`` — the in-process cost of running the same
+workload with spans + metrics enabled.  Any entry above
+``--max-traced-overhead`` (default 25%) fails the check; this number is
+machine-independent (both modes run in the same process), so no
+regression factor applies to it either.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--baseline", type=pathlib.Path, required=True)
     parser.add_argument("--current", type=pathlib.Path, required=True)
     parser.add_argument("--max-regression", type=float, default=3.0)
+    parser.add_argument("--max-traced-overhead", type=float, default=25.0)
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())["benchmarks"]
@@ -53,6 +61,20 @@ def main(argv: List[str]) -> int:
             "perf-check: parallel runs diverged from serial results: "
             + ", ".join(diverged)
         )
+        return 1
+
+    over_budget = [
+        (name, entry["overhead_vs_disabled_pct"])
+        for name, entry in sorted(current.items())
+        if entry.get("overhead_vs_disabled_pct") is not None
+        and entry["overhead_vs_disabled_pct"] > args.max_traced_overhead
+    ]
+    if over_budget:
+        for name, pct in over_budget:
+            print(
+                f"perf-check: {name} traced overhead {pct:.1f}% exceeds the "
+                f"{args.max_traced_overhead:.0f}% budget"
+            )
         return 1
 
     failures = []

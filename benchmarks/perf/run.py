@@ -21,6 +21,7 @@ distributed count.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import pathlib
 import platform
@@ -39,6 +40,9 @@ import numpy as np  # noqa: E402
 from repro.core.config import DHSConfig  # noqa: E402
 from repro.core.dhs import DistributedHashSketch  # noqa: E402
 from repro.core.policy import RetryPolicy  # noqa: E402
+from repro.obs import runtime as obs  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.span import Tracer  # noqa: E402
 from repro.overlay.chord import ChordRing  # noqa: E402
 from repro.overlay.faults import FaultInjector, FaultPlan  # noqa: E402
 from repro.sim.seeds import rng_for  # noqa: E402
@@ -52,6 +56,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "insert": [{"n_nodes": 128, "array_items": 100_000, "scalar_items": 10_000}],
         "count": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
         "count_faulty": [{"n_nodes": 64, "m": 64, "items": 20_000, "counts": 5}],
+        "count_traced": [
+            {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 3},
+        ],
+        "insert_traced": [{"n_nodes": 128, "items": 100_000}],
         "parallel": {
             "jobs": [1, 2],
             "sweep": {"ms": (32, 64), "n_nodes": 32, "scale": 2e-4, "trials": 1},
@@ -69,6 +77,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "count_faulty": [
             {"n_nodes": 256, "m": 128, "items": 100_000, "counts": 8},
         ],
+        "count_traced": [
+            {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 8},
+        ],
+        "insert_traced": [{"n_nodes": 1024, "items": 1_000_000}],
         "parallel": {
             "jobs": [1, 2, 4, 8],
             "sweep": {"ms": (64, 128, 256), "n_nodes": 64, "scale": 2e-3, "trials": 2},
@@ -90,6 +102,10 @@ PRESETS: Dict[str, Dict[str, Any]] = {
         "count_faulty": [
             {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 4},
         ],
+        "count_traced": [
+            {"n_nodes": 1024, "m": 512, "items": 1_000_000, "counts": 4},
+        ],
+        "insert_traced": [{"n_nodes": 1024, "items": 10_000_000}],
         "parallel": {
             "jobs": [1, 2, 4, 8],
             "sweep": {"ms": (64, 128, 256, 512), "n_nodes": 128, "scale": 1e-2, "trials": 2},
@@ -219,6 +235,113 @@ def bench_count_faulty(
     }
 
 
+def bench_count_traced(
+    n_nodes: int, m: int, items: int, counts: int
+) -> Dict[str, Any]:
+    """Distributed-count latency with tracing + metering enabled.
+
+    Runs the exact :func:`bench_count` workload twice in-process —
+    observability disabled, then enabled (fresh ``Tracer`` +
+    ``MetricsRegistry``) — and reports the enabled throughput along with
+    ``overhead_vs_disabled_pct``.  Three alternating repetitions per mode
+    (best-of) damp scheduler noise.  ``check.py`` hard-fails when the
+    overhead exceeds its ``--max-traced-overhead`` budget (25% by
+    default); the disabled mode is covered by the ordinary ``count/``
+    entry's baseline comparison, pinning the flag-check cost at ~0.
+
+    The specs pin the *representative* deployment (the ``count/n1024_m512``
+    headline workload): per-span overhead is a fixed pure-Python cost, so
+    the ratio shrinks as the network (and with it the baseline lookup
+    work per interval) grows — tiny rings at low load factors measure the
+    instrumentation floor, not a deployment anyone traces.
+    """
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    dhs = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=m, key_bits=24), seed=SEED
+    )
+    dhs.insert_array("perf", np.arange(items, dtype=np.int64))
+    rng = rng_for(SEED, "perf-count-traced", n_nodes, m)
+    origins = [ring.random_live_node(rng) for _ in range(counts)]
+
+    def one_pass() -> float:
+        start = time.perf_counter()
+        for origin in origins:
+            dhs.count("perf", origin=origin)
+        return time.perf_counter() - start
+
+    plain = traced = float("inf")
+    spans = 0
+    # The overhead ratio is an in-process A/B comparison, so shield it
+    # from suite-order artefacts: collect whatever previous benchmarks
+    # left behind and keep the collector out of both timed modes (the
+    # per-pass span list is a few hundred entries — GC is irrelevant to
+    # the instrumentation cost being measured).
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(5):
+            plain = min(plain, one_pass())
+            tracer = Tracer()
+            with obs.observed(tracer, MetricsRegistry()):
+                traced = min(traced, one_pass())
+            spans = len(tracer.spans)
+    finally:
+        gc.enable()
+    overhead = 100.0 * (traced / plain - 1.0)
+    return {
+        "ops": counts,
+        "seconds": round(traced, 4),
+        "ops_per_sec": round(counts / traced, 2),
+        "disabled_ops_per_sec": round(counts / plain, 2),
+        "overhead_vs_disabled_pct": round(overhead, 2),
+        "spans_per_op": round(spans / counts, 1),
+    }
+
+
+def bench_insert_traced(n_nodes: int, items: int, m: int = 512) -> Dict[str, Any]:
+    """Vectorized bulk-insert throughput with tracing + metering enabled.
+
+    Same alternating disabled/enabled structure as
+    :func:`bench_count_traced`; the span stream here is one
+    ``insert.store`` per interval, so the absolute overhead is dominated
+    by the metering counters.
+    """
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    dhs = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=m, key_bits=24), seed=SEED
+    )
+    ids = np.arange(items, dtype=np.int64)
+    origin = list(ring.node_ids())[0]
+
+    def one_pass() -> float:
+        start = time.perf_counter()
+        dhs.insert_array("perf", ids, origin=origin)
+        return time.perf_counter() - start
+
+    plain = traced = float("inf")
+    spans = 0
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(3):
+            plain = min(plain, one_pass())
+            tracer = Tracer()
+            with obs.observed(tracer, MetricsRegistry()):
+                traced = min(traced, one_pass())
+            spans = len(tracer.spans)
+    finally:
+        gc.enable()
+    overhead = 100.0 * (traced / plain - 1.0)
+    return {
+        "ops": items,
+        "seconds": round(traced, 4),
+        "ops_per_sec": round(items / traced, 1),
+        "disabled_ops_per_sec": round(items / plain, 1),
+        "overhead_vs_disabled_pct": round(overhead, 2),
+        "spans_per_op": round(spans / items, 6),
+    }
+
+
 def bench_parallel(jobs_list: List[int], sweep: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     """Accuracy-sweep wall-clock at several ``DHS_JOBS`` widths.
 
@@ -252,11 +375,14 @@ def bench_parallel(jobs_list: List[int], sweep: Dict[str, Any]) -> Dict[str, Dic
     return entries
 
 
-def run_suite(preset: str) -> Dict[str, Any]:
+def run_suite(preset: str, only: set | None = None) -> Dict[str, Any]:
     sizes = PRESETS[preset]
     benchmarks: Dict[str, Dict[str, Any]] = {}
 
-    for spec in sizes["lookup"]:
+    def want(family: str) -> bool:
+        return only is None or family in only
+
+    for spec in sizes["lookup"] if want("lookup") else []:
         name = f"lookup/n{spec['n_nodes']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_lookup(spec["n_nodes"], spec["ops"])
@@ -266,7 +392,7 @@ def run_suite(preset: str) -> Dict[str, Any]:
             spec["n_nodes"], max(spec["ops"] // 4, 500), finger_cache=False
         )
 
-    for spec in sizes["insert"]:
+    for spec in sizes["insert"] if want("insert") else []:
         n_nodes = spec["n_nodes"]
         array_name = f"bulk_insert_array/n{n_nodes}_items{spec['array_items']}"
         print(f"[perf] {array_name} ...", flush=True)
@@ -284,22 +410,34 @@ def run_suite(preset: str) -> Dict[str, Any]:
             2,
         )
 
-    for spec in sizes["count"]:
+    for spec in sizes["count"] if want("count") else []:
         name = f"count/n{spec['n_nodes']}_m{spec['m']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_count(
             spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
         )
 
-    for spec in sizes.get("count_faulty", []):
+    for spec in sizes.get("count_faulty", []) if want("count_faulty") else []:
         name = f"count_faulty/n{spec['n_nodes']}_m{spec['m']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_count_faulty(
             spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
         )
 
+    for spec in sizes.get("count_traced", []) if want("count_traced") else []:
+        name = f"count_traced/n{spec['n_nodes']}_m{spec['m']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_count_traced(
+            spec["n_nodes"], spec["m"], spec["items"], spec["counts"]
+        )
+
+    for spec in sizes.get("insert_traced", []) if want("insert_traced") else []:
+        name = f"insert_traced/n{spec['n_nodes']}_items{spec['items']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_insert_traced(spec["n_nodes"], spec["items"])
+
     parallel = sizes.get("parallel")
-    if parallel is not None:
+    if parallel is not None and want("parallel"):
         print(f"[perf] parallel_scaling (jobs {parallel['jobs']}) ...", flush=True)
         benchmarks.update(bench_parallel(parallel["jobs"], dict(parallel["sweep"])))
 
@@ -322,8 +460,15 @@ def main(argv: List[str]) -> int:
         default=_REPO_ROOT / "BENCH_perf.json",
         help="output path (default: BENCH_perf.json at the repo root)",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated benchmark families to run "
+        "(lookup,insert,count,count_faulty,count_traced,insert_traced,parallel)",
+    )
     args = parser.parse_args(argv)
-    report = run_suite(args.preset)
+    only = {part.strip() for part in args.only.split(",") if part.strip()} if args.only else None
+    report = run_suite(args.preset, only=only)
     args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"[perf] wrote {args.json}")
     width = max(len(name) for name in report["benchmarks"])
@@ -333,6 +478,8 @@ def main(argv: List[str]) -> int:
             line += f"  {entry['hops_per_op']:>10.3f} hops/op"
         if "identical_to_serial" in entry:
             line += "  bit-identical" if entry["identical_to_serial"] else "  DIVERGED"
+        if "overhead_vs_disabled_pct" in entry:
+            line += f"  {entry['overhead_vs_disabled_pct']:+.1f}% vs disabled"
         print(line)
     return 0
 

@@ -43,6 +43,7 @@ from repro.experiments.robustness import format_robustness, run_failure_robustne
 from repro.experiments.scalability import format_scalability, run_scalability
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
+from repro.experiments.tracing import TraceScenario, format_trace, run_traced_count
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -144,6 +145,20 @@ def _run_faultmatrix(args: argparse.Namespace) -> str:
     return format_faultmatrix(run_faultmatrix(**kwargs))
 
 
+def _run_trace(args: argparse.Namespace) -> str:
+    scenario = TraceScenario(seed=args.seed)
+    if args.nodes is not None:
+        scenario = TraceScenario(seed=args.seed, n_nodes=args.nodes)
+    run = run_traced_count(scenario)
+    if args.trace_jsonl is not None:
+        import pathlib
+
+        path = pathlib.Path(args.trace_jsonl)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(run.jsonl())
+    return format_trace(run)
+
+
 def _run_ablations(args: argparse.Namespace) -> str:
     parts = [
         format_ablation("Retry budget ablation (section 4.1)", "nodes visited",
@@ -174,6 +189,7 @@ EXPERIMENTS: Dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "robustness": (_run_robustness, "§3.5 undetected failures vs replication"),
     "faultmatrix": (_run_faultmatrix, "fault kind x intensity x policy x R matrix"),
     "ablations": (_run_ablations, "lim / replication / bit-shift / overlay ablations"),
+    "trace": (_run_trace, "traced count: span tree, metrics, Fig. 7 load table"),
 }
 
 
@@ -203,6 +219,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output", type=str, default=None,
         help="directory to also write each report into (<name>.txt)",
+    )
+    parser.add_argument(
+        "--trace-jsonl", type=str, default=None,
+        help="with 'trace': also dump the span trace as JSONL to this path",
     )
     return parser
 

@@ -29,6 +29,7 @@ counting RNG per scan), and per-probe node-id recording is gated behind
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Set
 
@@ -39,6 +40,8 @@ from repro.core.retries import lim_with_replication, success_probability
 from repro.core.tuples import PackedSlot, bits_of, vectors_mask, write_entry
 from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
+from repro.obs import runtime as obs
+from repro.obs.metrics import BUCKETS_BITS, BUCKETS_PROBES, Histogram
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.node import Node
 from repro.overlay.replication import replica_chain
@@ -111,6 +114,11 @@ class Counter:
         self.hash_family = hash_family
         self.policy = policy
         self._rng = rng_for(seed, "dhs-count")
+        # Per-count cached histogram objects (refreshed from the active
+        # registry at each metered count; see _count_many_impl) so the
+        # interval loop skips the registry's name lookup.
+        self._hist_probes = Histogram(BUCKETS_PROBES)
+        self._hist_bits = Histogram(BUCKETS_BITS)
 
     # ------------------------------------------------------------------
     # Public API.
@@ -151,6 +159,37 @@ class Counter:
             raise ValueError("metric ids must be unique")
         if origin is None:
             origin = self.dht.random_live_node(self._rng)
+        if not obs.TRACING:
+            return self._count_many_impl(metric_ids, origin, now, expected_items)
+        with obs.TRACER.span(
+            "dhs.count", tick=now, metrics=len(metric_ids), origin=origin
+        ) as span:
+            result = self._count_many_impl(metric_ids, origin, now, expected_items)
+            span.set(
+                hops=result.cost.hops,
+                messages=result.cost.messages,
+                probes=result.probes,
+                unique_probed=result.unique_probed,
+                intervals=result.intervals_scanned,
+                exhausted_intervals=result.exhausted_intervals,
+                drops=result.cost.drops,
+                timeouts=result.cost.timeouts,
+                degraded=result.degraded,
+            )
+        return result
+
+    def _count_many_impl(
+        self,
+        metric_ids: Sequence[Hashable],
+        origin: int,
+        now: int,
+        expected_items: Optional[float],
+    ) -> CountResult:
+        """The untraced body of :meth:`count_many`."""
+        if obs.METERING:
+            registry = obs.METRICS
+            self._hist_probes = registry.histogram("dhs.count.probes_per_interval")
+            self._hist_bits = registry.histogram("dhs.count.bits_touched")
         bootstrap_cost: Optional[OpCost] = None
         if self.config.lim_policy == "eq6" and expected_items is None:
             bootstrap = self._run_scan(metric_ids, origin, now, expected_items=None,
@@ -168,6 +207,10 @@ class Counter:
             or result.cost.drops > 0
             or result.cost.timeouts > 0
         )
+        if obs.METERING:
+            obs.METRICS.inc("dhs.count.ops")
+            if result.degraded:
+                obs.METRICS.inc("dhs.count.degraded")
         return result
 
     def _run_scan(
@@ -322,11 +365,56 @@ class Counter:
 
         Returns metric → bitmap of vectors found set at ``position``.
         """
+        if not obs.TRACING:
+            # Metering (when on) happens inside the impl, where the
+            # probe count and found masks are already locals — the
+            # delta bookkeeping below is only needed for span attrs.
+            return self._probe_interval_impl(
+                index, position, needed, origin, now, result, expected_items, key
+            )
+        cost = result.cost
+        probes_before = result.probes
+        hops_before = cost.hops
+        drops_before = cost.drops
+        timeouts_before = cost.timeouts
+        exhausted_before = result.exhausted_intervals
+        span = obs.TRACER.start(
+            "count.interval", tick=now, index=index, position=position
+        )
+        try:
+            found = self._probe_interval_impl(
+                index, position, needed, origin, now, result, expected_items, key
+            )
+        finally:
+            attrs = span.attrs
+            attrs["probes"] = result.probes - probes_before
+            attrs["hops"] = cost.hops - hops_before
+            attrs["drops"] = cost.drops - drops_before
+            attrs["timeouts"] = cost.timeouts - timeouts_before
+            attrs["exhausted"] = result.exhausted_intervals > exhausted_before
+            obs.TRACER.end(span)
+        return found
+
+    def _probe_interval_impl(
+        self,
+        index: int,
+        position: int,
+        needed: Dict[Hashable, int],
+        origin: int,
+        now: int,
+        result: CountResult,
+        expected_items: Optional[float],
+        key: Optional[int],
+    ) -> Dict[Hashable, int]:
+        """The untraced body of :meth:`_probe_interval` (Alg. 1 inner loop)."""
+        event = obs.TRACER.event if obs.TRACING else None
         config = self.config
         budget = self._interval_budget(index, expected_items)
         metrics = [metric for metric, mask in needed.items() if mask]
         found: Dict[Hashable, int] = {metric: 0 for metric in metrics}
         if not metrics:
+            if obs.METERING:
+                self._record_interval_metrics(probes_done=0, bits=0)
             return found
         result.intervals_scanned += 1
         if key is None:
@@ -340,14 +428,26 @@ class Counter:
             # The interval is unreachable this scan (every lookup attempt
             # was dropped): zero probes happened, so confidence in every
             # still-pending metric takes the full zero-probe eq. 5 hit.
+            if event is not None:
+                event("count.unreachable", tick=now, index=index)
             self._charge_exhaustion(
                 index, position, metrics, needed, found, result,
                 expected_items, probes_done=0,
             )
+            if obs.METERING:
+                self._record_interval_metrics(probes_done=0, bits=0)
             return found
         size_model = config.size_model
         num_metrics = len(metrics)
         cost.add(lookup.cost)
+        if event is not None:
+            event(
+                "dht.lookup",
+                tick=now,
+                key=key,
+                node=lookup.node_id,
+                hops=lookup.cost.hops,
+            )
         cost.bytes += size_model.probe_bytes(
             request_hops=lookup.cost.hops, tuples_returned=0, metrics=num_metrics
         )
@@ -381,6 +481,14 @@ class Counter:
                     cost.bytes += returned * size_model.tuple_bytes
                     if repair and returned:
                         self._read_repair(target, metrics, masks, position, now, cost)
+                    if event is not None:
+                        event(
+                            "probe", tick=now, node=target, ok=True, bits=returned
+                        )
+                elif event is not None:
+                    event(
+                        "probe", tick=now, node=target, ok=False, lost=True
+                    )
             else:
                 # Timed-out probe of a crashed (or transiently down)
                 # node — Alg. 1's failure case.  The walk hop was already
@@ -388,6 +496,10 @@ class Counter:
                 # are not evicted (the fault layer vetoes it).
                 cost.timeouts += 1
                 self.dht.timeout_repair(target)
+                if event is not None:
+                    event(
+                        "probe", tick=now, node=target, ok=False, timeout=True
+                    )
             if all(not (needed[metric] & ~found[metric]) for metric in metrics):
                 break
             if attempt + 1 == budget:
@@ -432,7 +544,32 @@ class Counter:
                 index, position, metrics, needed, found, result,
                 expected_items, probes_done=probes_done,
             )
+        if obs.METERING:
+            # Inlined histogram records against the per-count cached
+            # objects (refreshed in _count_many_impl) — this runs once
+            # per interval on the count hot path.
+            hist = self._hist_probes
+            hist.counts[bisect_left(hist.bounds, probes_done)] += 1
+            hist.total += probes_done
+            hist.count += 1
+            bits = sum(map(int.bit_count, found.values()))
+            hist = self._hist_bits
+            hist.counts[bisect_left(hist.bounds, bits)] += 1
+            hist.total += bits
+            hist.count += 1
         return found
+
+    def _record_interval_metrics(self, probes_done: int, bits: int) -> None:
+        """Record one interval's probe/bit observations (cold paths only;
+        the normal exit of :meth:`_probe_interval_impl` inlines this)."""
+        hist = self._hist_probes
+        hist.counts[bisect_left(hist.bounds, probes_done)] += 1
+        hist.total += probes_done
+        hist.count += 1
+        hist = self._hist_bits
+        hist.counts[bisect_left(hist.bounds, bits)] += 1
+        hist.total += bits
+        hist.count += 1
 
     def _probe_node(
         self,
@@ -507,6 +644,12 @@ class Counter:
                 cost.bytes += wrote * tuple_bytes
                 cost.repair_writes += wrote
                 self.dht.load.record(replica_id)
+                if obs.METERING:
+                    obs.METRICS.inc("dhs.repair.writes", wrote)
+                if obs.TRACING:
+                    obs.TRACER.event(
+                        "read_repair", tick=now, node=replica_id, tuples=wrote
+                    )
 
     def _charge_exhaustion(
         self,

@@ -26,6 +26,7 @@ from repro.core.tuples import write_entry
 from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
 from repro.hashing.vectorized import observations_np
+from repro.obs import runtime as obs
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.node import Node
 from repro.overlay.replication import replicate_to_successors
@@ -250,6 +251,38 @@ class Inserter:
         origin: Optional[int],
         now: int,
     ) -> OpCost:
+        if not obs.TRACING and not obs.METERING:
+            return self._write_tuples_impl(index, tuples, origin, now)
+        if not obs.TRACING:
+            cost = self._write_tuples_impl(index, tuples, origin, now)
+            self._meter_store(tuples, cost)
+            return cost
+        with obs.TRACER.span(
+            "insert.store", tick=now, interval=index, tuples=len(tuples)
+        ) as span:
+            cost = self._write_tuples_impl(index, tuples, origin, now)
+            span.set(
+                hops=cost.hops,
+                messages=cost.messages,
+                drops=cost.drops,
+                timeouts=cost.timeouts,
+            )
+        if obs.METERING:
+            self._meter_store(tuples, cost)
+        return cost
+
+    def _meter_store(self, tuples: List[Tuple[Hashable, int, int]], cost: OpCost) -> None:
+        obs.METRICS.inc("dhs.insert.stores")
+        obs.METRICS.inc("dhs.insert.tuples", len(tuples))
+        obs.METRICS.observe("dhs.insert.store_hops", cost.hops)
+
+    def _write_tuples_impl(
+        self,
+        index: int,
+        tuples: List[Tuple[Hashable, int, int]],
+        origin: Optional[int],
+        now: int,
+    ) -> OpCost:
         key = self.mapping.random_key_in_interval(index, self._rng)
         expiry = self.config.expiry(now)
 
@@ -273,8 +306,14 @@ class Inserter:
             # The write is lost for good: the tuples were never stored.
             # Soft-state refresh (or read-repair) re-creates them later;
             # the timeout/backoff accounting survives in the cost.
+            if obs.TRACING:
+                obs.TRACER.event("insert.lost", tick=now, interval=index)
             return loss_cost
         cost.add(loss_cost)
+        if obs.TRACING:
+            obs.TRACER.event(
+                "dht.store", tick=now, key=key, node=storing_node, hops=cost.hops
+            )
         if self.config.replication > 0:
             extra = replicate_to_successors(
                 self.dht,
@@ -285,4 +324,8 @@ class Inserter:
             )
             if extra is not None:
                 cost.add(extra)
+                if obs.TRACING:
+                    obs.TRACER.event(
+                        "replicate", tick=now, node=storing_node, hops=extra.hops
+                    )
         return cost

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, TypeVar
 
 from repro.errors import ConfigurationError, MessageDropped
+from repro.obs import runtime as obs
 from repro.overlay.stats import OpCost
 
 __all__ = ["RetryPolicy", "DEFAULT_POLICY"]
@@ -106,11 +107,25 @@ class RetryPolicy:
                 cost.hops += 1
                 cost.messages += 1
                 cost.timeouts += 1
+                if obs.METERING:
+                    obs.METRICS.inc("dhs.retry.timeouts")
                 if attempt + 1 < self.max_attempts:
                     cost.retries += 1
-                    cost.hops += self.backoff_cost(attempt, rng)
+                    backoff = self.backoff_cost(attempt, rng)
+                    cost.hops += backoff
+                    if obs.METERING:
+                        obs.METRICS.inc("dhs.retry.retries")
+                        obs.METRICS.inc("dhs.retry.backoff_hops", backoff)
+                    if obs.TRACING:
+                        obs.TRACER.event(
+                            "msg.retry", attempt=attempt + 1, backoff_hops=backoff
+                        )
         assert last is not None
         cost.drops += 1
+        if obs.METERING:
+            obs.METRICS.inc("dhs.retry.drops")
+        if obs.TRACING:
+            obs.TRACER.event("msg.dropped", attempts=self.max_attempts)
         raise last
 
 

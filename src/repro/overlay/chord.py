@@ -21,6 +21,7 @@ import bisect
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, EmptyOverlayError
+from repro.obs import runtime as obs
 from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.idspace import IdSpace
 from repro.overlay.stats import OpCost
@@ -299,4 +300,6 @@ class ChordRing(DHTProtocol):
             self.load.record(current)
             if cost.hops > 2 * self.space.bits + len(self._ids):
                 raise RuntimeError("routing failed to converge; ring corrupt?")
+        if obs.METERING:
+            obs.METRICS.observe("dhs.lookup.hops", cost.hops)
         return LookupResult(node_id=destination, cost=cost)

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple, cast
 
 from repro.errors import EmptyOverlayError, LookupFailedError, NodeNotFoundError
+from repro.obs import runtime as obs
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import Node, StoreValue
 from repro.overlay.stats import LoadTracker, OpCost
@@ -217,6 +218,8 @@ class DHTProtocol(ABC):
             cost.hops += 1
             cost.messages += 1
             cost.timeouts += 1
+            if obs.METERING:
+                obs.METRICS.inc("dht.timeouts")
             self.timeout_repair(candidate)
             current = candidate
         raise LookupFailedError("no responsive node reachable on the ring")
@@ -286,6 +289,8 @@ class DHTProtocol(ABC):
         self.load.record(result.node_id)
         cost = result.cost
         cost.bytes += max(0, result.cost.hops) * payload_bytes
+        if obs.METERING:
+            obs.METRICS.inc("dht.stores")
         return result.node_id, cost
 
     def probe(
@@ -296,6 +301,8 @@ class DHTProtocol(ABC):
         """Read from a specific node's store (no routing — caller pays)."""
         node = self.node(node_id)
         self.load.record(node_id)
+        if obs.METERING:
+            obs.METRICS.inc("dht.probes")
         return read(node)
 
     def random_live_node(self, rng: random.Random) -> int:

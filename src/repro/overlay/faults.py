@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, MessageDropped
+from repro.obs import runtime as obs
 from repro.overlay.dht import DHTProtocol, FaultHooks, LookupResult
 from repro.overlay.node import Node
 from repro.overlay.stats import OpCost
@@ -235,6 +236,16 @@ class FaultInjector(DHTProtocol, FaultHooks):
     def _apply_event(self, index: int) -> None:
         event = self._events[index]
         victims = self._victims(index)
+        if obs.TRACING:
+            obs.TRACER.event(
+                f"fault.{event.kind}",
+                tick=event.at,
+                victims=len(victims),
+                duration=event.duration,
+            )
+        if obs.METERING:
+            obs.METRICS.inc("dhs.faults.events")
+            obs.METRICS.inc("dhs.faults.victims", len(victims))
         if event.kind == "crash":
             for node_id in victims:
                 if self.has_node(node_id):
@@ -258,6 +269,8 @@ class FaultInjector(DHTProtocol, FaultHooks):
 
     def _rejoin(self, node_id: int) -> None:
         """An amnesiac node returns with an empty store."""
+        if obs.TRACING:
+            obs.TRACER.event("fault.rejoin", tick=self.clock, node=node_id)
         if self.has_node(node_id):
             node = self._nodes[node_id]
             node.store.clear()
@@ -285,6 +298,10 @@ class FaultInjector(DHTProtocol, FaultHooks):
             return
         if rng.random() < self.plan.drop_probability:
             self.dropped_messages += 1
+            if obs.METERING:
+                obs.METRICS.inc("dhs.faults.dropped_messages")
+            if obs.TRACING:
+                obs.TRACER.event("msg.dropped_by_fault", tick=self.clock, op=operation)
             raise MessageDropped(operation)
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ import bisect
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError, EmptyOverlayError
+from repro.obs import runtime as obs
 from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import Node
@@ -192,4 +193,6 @@ class KademliaOverlay(DHTProtocol):
             self.load.record(current)
             if cost.hops > 4 * self.space.bits:
                 raise RuntimeError("XOR routing failed to converge")
+        if obs.METERING:
+            obs.METRICS.observe("dhs.lookup.hops", cost.hops)
         return LookupResult(node_id=destination, cost=cost)

@@ -18,6 +18,7 @@ import bisect
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError, EmptyOverlayError
+from repro.obs import runtime as obs
 from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import Node
@@ -232,4 +233,6 @@ class PastryOverlay(DHTProtocol):
             self.load.record(current)
             if cost.hops > 4 * self.space.bits:
                 raise RuntimeError("Pastry routing failed to converge")
+        if obs.METERING:
+            obs.METRICS.observe("dhs.lookup.hops", cost.hops)
         return LookupResult(node_id=destination, cost=cost)

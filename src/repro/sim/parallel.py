@@ -29,6 +29,18 @@ serial.
 pass ``jobs`` explicitly; ``DHS_JOBS=1`` short-circuits to a plain
 in-process loop, so the serial path is byte-for-byte the pre-harness
 behaviour.
+
+Metrics capture
+---------------
+When :mod:`repro.obs` metering is active, every trial runs against a
+**fresh** :class:`~repro.obs.metrics.MetricsRegistry` and its snapshot
+is merged into the caller's registry in spec order — in the serial path
+and the parallel path alike.  Using the same capture-and-merge sequence
+on both paths is what makes ``snapshot()`` bit-identical at any
+``DHS_JOBS`` width even for float-valued counters, whose addition is
+order-sensitive (tests/obs/test_parallel_metrics.py pins this).
+Span tracing does not cross process boundaries: traced runs (the golden
+trace, ``repro.cli trace``) run serially by convention.
 """
 
 from __future__ import annotations
@@ -36,7 +48,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry, Snapshot
 
 __all__ = ["TrialSpec", "env_jobs", "run_trials"]
 
@@ -67,6 +82,21 @@ def _execute(spec: TrialSpec) -> Any:
     return spec.fn(seed=spec.seed, **dict(spec.kwargs))
 
 
+def _execute_metered(spec: TrialSpec) -> Tuple[Any, Snapshot]:
+    """Run one trial against a fresh per-trial metrics registry.
+
+    Used on both the serial and the parallel path whenever metering is
+    on, so the caller-side merge sequence — and therefore the merged
+    snapshot, floats included — is independent of the worker count.
+    (Under ``fork`` the worker inherits the parent's registry; swapping
+    in a fresh one here also keeps trial metrics out of it.)
+    """
+    registry = MetricsRegistry()
+    with obs.observed(registry=registry, tracing=False):
+        result = _execute(spec)
+    return result, registry.snapshot()
+
+
 def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[Any]:
     """Run every spec and return results in spec order.
 
@@ -75,16 +105,27 @@ def run_trials(specs: Sequence[TrialSpec], jobs: Optional[int] = None) -> List[A
     """
     if jobs is None:
         jobs = env_jobs()
+    metered = obs.METERING
     if jobs <= 1 or len(specs) <= 1:
-        return [_execute(spec) for spec in specs]
-    # ``fork`` keeps worker start cheap and inherits the warm import
-    # state; ``spawn`` platforms work too since specs pickle fully.
-    import multiprocessing
+        if not metered:
+            return [_execute(spec) for spec in specs]
+        outputs = [_execute_metered(spec) for spec in specs]
+    else:
+        # ``fork`` keeps worker start cheap and inherits the warm import
+        # state; ``spawn`` platforms work too since specs pickle fully.
+        import multiprocessing
 
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    workers = min(jobs, len(specs))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        # ``map`` preserves submission order, so the aggregation loop in
-        # each driver sees results exactly as the serial loop would.
-        return list(pool.map(_execute, specs, chunksize=1))
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+        workers = min(jobs, len(specs))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            # ``map`` preserves submission order, so the aggregation loop
+            # in each driver sees results exactly as the serial loop would.
+            if not metered:
+                return list(pool.map(_execute, specs, chunksize=1))
+            outputs = list(pool.map(_execute_metered, specs, chunksize=1))
+    results: List[Any] = []
+    for result, snapshot in outputs:
+        obs.METRICS.merge_snapshot(snapshot)
+        results.append(result)
+    return results

@@ -1,0 +1,65 @@
+"""Runtime flag tests: enable/disable, scoped restore, zero-cost default."""
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.span import NULL_TRACER, Tracer
+
+
+class TestDefaults:
+    def test_disabled_by_default(self):
+        assert obs.TRACING is False
+        assert obs.METERING is False
+        assert obs.TRACER is NULL_TRACER
+        assert isinstance(obs.METRICS, MetricsRegistry)
+
+
+class TestObserved:
+    def test_observed_installs_and_restores(self):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with obs.observed(tracer, registry) as (active_tracer, active_registry):
+            assert obs.TRACING and obs.METERING
+            assert active_tracer is tracer is obs.TRACER
+            assert active_registry is registry is obs.METRICS
+        assert obs.TRACING is False
+        assert obs.METERING is False
+        assert obs.TRACER is NULL_TRACER
+
+    def test_observed_restores_on_exception(self):
+        try:
+            with obs.observed():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert obs.TRACING is False
+
+    def test_fresh_tracer_when_none_given(self):
+        with obs.observed() as (tracer, _):
+            assert isinstance(tracer, Tracer)
+            assert not isinstance(tracer, type(NULL_TRACER))
+
+    def test_halves_enable_independently(self):
+        with obs.observed(tracing=False):
+            assert obs.METERING is True
+            assert obs.TRACING is False
+        with obs.observed(metering=False):
+            assert obs.TRACING is True
+            assert obs.METERING is False
+
+    def test_enable_disable(self):
+        tracer, registry = obs.enable()
+        try:
+            assert obs.TRACING and obs.METERING
+            assert obs.TRACER is tracer
+            assert obs.METRICS is registry
+        finally:
+            obs.disable()
+        assert obs.TRACING is False
+        assert obs.TRACER is NULL_TRACER
+
+    def test_nested_observed_restores_inner(self):
+        outer_reg = MetricsRegistry()
+        with obs.observed(registry=outer_reg):
+            with obs.observed(registry=MetricsRegistry()):
+                assert obs.METRICS is not outer_reg
+            assert obs.METRICS is outer_reg

@@ -22,6 +22,7 @@ class TestCatalogue:
             "robustness",
             "faultmatrix",
             "ablations",
+            "trace",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -429,6 +429,76 @@ class TestRealTimeWait:
 
 
 # ----------------------------------------------------------------------
+# DHS701 — ad-hoc console output
+# ----------------------------------------------------------------------
+class TestAdHocOutput:
+    def test_print_in_library_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "def walk(result):\n    print('probes', result.probes)\n",
+            module="repro.core.count",
+        )
+        assert codes == ["DHS701"]
+
+    def test_stdout_write_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import sys\nsys.stdout.write('hops\\n')\n",
+            module="repro.overlay.chord",
+        )
+        assert codes == ["DHS701"]
+
+    def test_stderr_write_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import sys\nsys.stderr.write('oops\\n')\n",
+            module="repro.sim.parallel",
+        )
+        assert codes == ["DHS701"]
+
+    def test_pprint_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from pprint import pprint\npprint({'hops': 3})\n",
+            module="repro.experiments.accuracy",
+        )
+        assert codes == ["DHS701"]
+
+    def test_cli_exempt(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "print('report written')\n",
+            module="repro.cli",
+        )
+        assert codes == []
+
+    def test_obs_package_exempt(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import sys\nsys.stdout.write('span tree\\n')\n",
+            module="repro.obs.export",
+        )
+        assert codes == []
+
+    def test_outside_package_not_checked(self, tmp_path):
+        # Benchmarks, tools and tests print freely; the rule polices the
+        # library package only.
+        codes, _ = lint(tmp_path, "print('bench done')\n")
+        assert codes == []
+
+    def test_metrics_call_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from repro.obs import runtime as obs\n"
+            "def record(hops):\n"
+            "    if obs.METERING:\n"
+            "        obs.METRICS.observe('dhs.lookup.hops', hops)\n",
+            module="repro.core.count",
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
 # Suppressions and config
 # ----------------------------------------------------------------------
 class TestSuppressions:

@@ -25,7 +25,7 @@ except ImportError:  # pragma: no cover - Python 3.10 without tomli
 #: from any layer ``j < i`` (and from its own top-level package), never from
 #: its own layer's siblings or above.  Mirrors docs/ARCHITECTURE.md §6.
 DEFAULT_LAYERS: tuple[tuple[str, ...], ...] = (
-    ("errors", "hashing"),
+    ("errors", "hashing", "obs"),
     ("sim", "sketches"),
     ("overlay", "workloads"),
     ("core",),

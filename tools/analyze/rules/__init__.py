@@ -5,6 +5,7 @@ from tools.analyze.rules import (  # noqa: F401
     floats,
     generic,
     layering,
+    observability,
     parallelism,
     robustness,
 )

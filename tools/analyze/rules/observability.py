@@ -1,0 +1,81 @@
+"""Observability rules (DHS7xx).
+
+Every measurement the library makes — hop counts, probe totals, retry
+budgets — flows through ``repro.obs``: spans carry per-operation
+attribution, the :class:`~repro.obs.metrics.MetricsRegistry` aggregates
+deterministically across ``DHS_JOBS`` workers, and the exporters render
+both.  A stray ``print()`` inside the library bypasses all of that: it
+is invisible to the registry, non-deterministic under process pools
+(interleaved worker output), and unusable by the report tooling.  DHS701
+keeps raw console output confined to the two places that own the
+terminal: the CLI front-end (``repro.cli``) and the observability
+package itself (``repro.obs``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from tools.analyze.engine import FileContext, Rule, Violation, register
+from tools.analyze.rules._imports import ImportTable
+
+#: Direct console-output calls, resolved through import aliases.
+_OUTPUT_CALLS = frozenset(
+    {
+        "print",
+        "sys.stdout.write",
+        "sys.stderr.write",
+        "pprint.pprint",
+        "pprint.pp",
+    }
+)
+
+#: Module prefixes allowed to talk to the terminal directly.
+_EXEMPT_PREFIXES = (("repro", "cli"), ("repro", "obs"))
+
+
+def _calls(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+@register
+class AdHocOutput(Rule):
+    """DHS701 — direct console output in the library instead of repro.obs."""
+
+    code = "DHS701"
+    name = "ad-hoc-output"
+    rationale = (
+        "Library code must report through `repro.obs` — spans for "
+        "per-operation attribution, `MetricsRegistry` for aggregates — "
+        "not `print()`/`sys.stdout.write()`. Ad-hoc output is invisible "
+        "to `snapshot()` merging, interleaves non-deterministically "
+        "under `DHS_JOBS` worker pools, and never reaches the trace "
+        "exporters or the report generator. Only the CLI front-end "
+        "(`repro.cli`) and the observability package itself "
+        "(`repro.obs`) may write to the terminal."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        if not ctx.in_package():
+            return []
+        parts = ctx.package_parts
+        if any(parts[: len(prefix)] == prefix for prefix in _EXEMPT_PREFIXES):
+            return []
+        table = ImportTable(ctx.tree)
+        out: List[Violation] = []
+        for call in _calls(ctx.tree):
+            origin = table.resolve(call.func)
+            if origin in _OUTPUT_CALLS:
+                out.append(
+                    self.violation(
+                        ctx,
+                        call,
+                        f"`{origin}()` bypasses repro.obs; record a metric "
+                        "or span event instead (console output belongs to "
+                        "repro.cli / repro.obs)",
+                    )
+                )
+        return out

@@ -62,6 +62,12 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
         name: entry
         for name, entry in benchmarks.items()
         if not name.startswith("parallel_scaling/")
+        and "overhead_vs_disabled_pct" not in entry
+    }
+    traced = {
+        name: entry
+        for name, entry in benchmarks.items()
+        if "overhead_vs_disabled_pct" in entry
     }
     scaling = {
         name: entry
@@ -87,6 +93,29 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
             f"| {entry['hops_per_op']:.3f} | {entry['seconds']:.3f} |"
         )
     lines.append("")
+    if traced:
+        lines.extend(
+            [
+                "### traced modes",
+                "",
+                "The same workload run with spans + metrics enabled; the",
+                "overhead column is an in-process A/B comparison that",
+                "`benchmarks/perf/check.py` caps at 25% "
+                "(see docs/OBSERVABILITY.md).",
+                "",
+                "| benchmark | ops/sec enabled | ops/sec disabled | overhead | spans/op |",
+                "|---|---:|---:|---:|---:|",
+            ]
+        )
+        for name in sorted(traced):
+            entry = traced[name]
+            lines.append(
+                f"| {name} | {entry['ops_per_sec']:,.1f} "
+                f"| {entry['disabled_ops_per_sec']:,.1f} "
+                f"| {entry['overhead_vs_disabled_pct']:+.1f}% "
+                f"| {entry.get('spans_per_op', 0):,.1f} |"
+            )
+        lines.append("")
     if scaling:
         serial = next(
             (entry for entry in scaling.values() if entry.get("jobs") == 1), None
@@ -117,6 +146,74 @@ def perf_summary(bench_path: pathlib.Path) -> list[str]:
             )
         lines.append("")
     return lines
+
+
+def coverage_summary(coverage_path: pathlib.Path) -> list[str]:
+    """Markdown lines rendering the ``COVERAGE.json`` per-package table.
+
+    The file is produced by ``tools/cov.py`` (stdlib tracer, no
+    third-party deps); CI enforces the same floor with ``pytest-cov``.
+    Returns an empty list when the file is absent.
+    """
+    if not coverage_path.is_file():
+        return []
+    report = json.loads(coverage_path.read_text())
+    total = report.get("total", {})
+    lines = [
+        "## test_coverage",
+        "",
+        f"`PYTHONPATH=src python tools/cov.py --json COVERAGE.json` over "
+        f"`{report.get('source', 'src/repro')}` — "
+        f"{total.get('covered', 0)}/{total.get('statements', 0)} statements "
+        f"({total.get('percent', 0.0):.1f}%). CI gates the tier-1 run with "
+        "`--cov=repro --cov-fail-under=94`.",
+        "",
+        "| package | statements | missed | coverage |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, bucket in report.get("packages", {}).items():
+        missed = bucket["statements"] - bucket["covered"]
+        lines.append(
+            f"| {name} | {bucket['statements']} | {missed} "
+            f"| {bucket['percent']:.1f}% |"
+        )
+    missed = total.get("statements", 0) - total.get("covered", 0)
+    lines.append(
+        f"| **total** | {total.get('statements', 0)} | {missed} "
+        f"| {total.get('percent', 0.0):.1f}% |"
+    )
+    lines.append("")
+    return lines
+
+
+def observability_summary() -> list[str]:
+    """Markdown lines from one traced run of the golden scenario.
+
+    Embeds the metric snapshot and the paper-style (Fig. 7) per-interval
+    load table so the report shows *how* the measured numbers were
+    obtained, not just the numbers.  Skipped (empty list) when the
+    package is not importable from this checkout.
+    """
+    try:
+        sys.path.insert(0, str(_REPO_ROOT / "src"))
+        from repro.experiments.tracing import format_trace, run_traced_count
+    except ImportError:
+        return []
+    run = run_traced_count()
+    text = format_trace(run, max_spans=24)
+    return [
+        "## observability",
+        "",
+        "`python -m repro trace` — fixed-seed traced count "
+        f"({run.scenario.n_nodes} nodes, {run.scenario.trials} trials, "
+        f"{len(run.spans)} spans; fixture: `tests/obs/golden_trace.jsonl`). "
+        "See docs/OBSERVABILITY.md.",
+        "",
+        "```",
+        text.rstrip(),
+        "```",
+        "",
+    ]
 
 
 def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
@@ -171,10 +268,16 @@ def build_report(results_dir: pathlib.Path) -> str:
     ]
     repo_root = results_dir.parent.parent
     perf_lines = perf_summary(repo_root / "BENCH_perf.json")
+    coverage_lines = coverage_summary(repo_root / "COVERAGE.json")
+    obs_lines = observability_summary()
     for name in ordered:
         lines.append(f"- [{name}](#{name.replace('_', '-')})")
     if perf_lines:
         lines.append("- [perf_microbenchmarks](#perf-microbenchmarks)")
+    if obs_lines:
+        lines.append("- [observability](#observability)")
+    if coverage_lines:
+        lines.append("- [test_coverage](#test-coverage)")
     lines.append("- [static_analysis](#static-analysis)")
     lines.append("")
     for name in ordered:
@@ -185,6 +288,8 @@ def build_report(results_dir: pathlib.Path) -> str:
         lines.append("```")
         lines.append("")
     lines.extend(perf_lines)
+    lines.extend(obs_lines)
+    lines.extend(coverage_lines)
     source_dir = repo_root / "src" / "repro"
     if source_dir.is_dir():
         lines.extend(dhslint_summary(source_dir))
