@@ -14,6 +14,7 @@ numpy array alongside.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
@@ -81,16 +82,17 @@ class Relation:
         return int(self.values[index])
 
 
-_TAGS: Dict[str, int] = {}
-
-
 def _tag_for(name: str) -> int:
-    """A stable small integer tag per relation name."""
-    if name not in _TAGS:
-        _TAGS[name] = (sum(ord(c) * 131**i for i, c in enumerate(name)) % 4093) + len(
-            _TAGS
-        ) * 4096
-    return _TAGS[name]
+    """A stable 23-bit integer tag derived from the relation name alone.
+
+    Pure by construction: the tag depends only on ``name``, never on how
+    many relations were built first or in which order — workers building
+    relations in different orders must mint identical tuple ids.  23 bits
+    keeps ``tag << 40`` within a signed int64; blake2b makes collisions
+    between the handful of workload names (Q/R/S/T, fixtures) negligible.
+    """
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=3).digest()
+    return int.from_bytes(digest, "big") & 0x7FFFFF
 
 
 def make_relation(

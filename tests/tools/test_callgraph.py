@@ -1,0 +1,255 @@
+"""Call-graph builder tests: golden expected-edge lists over fixture trees.
+
+Each fixture materializes a miniature ``repro`` package and asserts the
+exact edges the builder resolves — import aliasing, ``__init__``
+re-exports (``__all__``), constructor calls, self-dispatch with subclass
+overrides, conservative ``DHTProtocol`` fan-out, and cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from tools.analyze import Config, FileContext
+from tools.analyze.engine import resolve_module
+from tools.analyze.dataflow.callgraph import CallGraph, build_callgraph
+from tools.analyze.dataflow.symbols import SymbolTable, build_symbols
+
+
+def make_package(root: Path, files: Dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for ancestor in path.relative_to(root).parents:
+            if str(ancestor) != ".":
+                (root / ancestor / "__init__.py").touch()
+        path.write_text(textwrap.dedent(body))
+    return root / "repro"
+
+
+def build(
+    tmp_path: Path, files: Dict[str, str], config: Config | None = None
+) -> Tuple[SymbolTable, CallGraph]:
+    make_package(tmp_path, files)
+    config = config or Config()
+    contexts: List[FileContext] = []
+    for path in sorted(tmp_path.rglob("*.py")):
+        source = path.read_text()
+        contexts.append(
+            FileContext(
+                path=path,
+                source=source,
+                tree=ast.parse(source),
+                config=config,
+                module=resolve_module(path),
+            )
+        )
+    symbols = build_symbols(contexts)
+    return symbols, build_callgraph(symbols, config)
+
+
+class TestImportAliasing:
+    def test_all_alias_forms_resolve_to_the_same_edge(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/util/helpers.py": "def work():\n    return 1\n",
+                "repro/a.py": (
+                    "import repro.util.helpers as h\n"
+                    "def f():\n    return h.work()\n"
+                ),
+                "repro/b.py": (
+                    "from repro.util import helpers as hh\n"
+                    "def g():\n    return hh.work()\n"
+                ),
+                "repro/c.py": (
+                    "from repro.util.helpers import work as w\n"
+                    "def k():\n    return w()\n"
+                ),
+            },
+        )
+        assert graph.edge_list() == [
+            ("repro.a.f", "repro.util.helpers.work"),
+            ("repro.b.g", "repro.util.helpers.work"),
+            ("repro.c.k", "repro.util.helpers.work"),
+        ]
+
+    def test_plain_import_binds_head_name(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/util/helpers.py": "def work():\n    return 1\n",
+                "repro/d.py": (
+                    "import repro.util.helpers\n"
+                    "def f():\n    return repro.util.helpers.work()\n"
+                ),
+            },
+        )
+        assert ("repro.d.f", "repro.util.helpers.work") in graph.edge_list()
+
+
+class TestReExports:
+    def test_dunder_all_reexport_canonicalizes(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/sketches/merge.py": "def union_all(xs):\n    return xs\n",
+                "repro/sketches/__init__.py": (
+                    "from repro.sketches.merge import union_all\n"
+                    '__all__ = ["union_all"]\n'
+                ),
+                "repro/consumer.py": (
+                    "from repro.sketches import union_all\n"
+                    "def f(xs):\n    return union_all(xs)\n"
+                ),
+            },
+        )
+        assert graph.edge_list() == [
+            ("repro.consumer.f", "repro.sketches.merge.union_all"),
+        ]
+
+    def test_relative_reexport_chain(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/sketches/merge.py": "def union_all(xs):\n    return xs\n",
+                "repro/sketches/__init__.py": "from .merge import union_all\n",
+                "repro/consumer.py": (
+                    "import repro.sketches as sk\n"
+                    "def f(xs):\n    return sk.union_all(xs)\n"
+                ),
+            },
+        )
+        assert graph.edge_list() == [
+            ("repro.consumer.f", "repro.sketches.merge.union_all"),
+        ]
+
+
+class TestMethodsAndDispatch:
+    FILES = {
+        "repro/overlay/dht.py": """
+            class DHTProtocol:
+                def lookup(self, key):
+                    raise NotImplementedError
+                def route(self, key):
+                    return self.lookup(key)
+            """,
+        "repro/overlay/chord.py": """
+            from repro.overlay.dht import DHTProtocol
+
+            class ChordRing(DHTProtocol):
+                def __init__(self):
+                    self.nodes = []
+                def lookup(self, key):
+                    return key
+            """,
+        "repro/query/q.py": """
+            def run(d, key):
+                return d.lookup(key)
+            """,
+    }
+
+    def test_self_call_fans_out_to_overrides(self, tmp_path):
+        _, graph = build(tmp_path, dict(self.FILES))
+        callees = set(graph.callees("repro.overlay.dht.DHTProtocol.route"))
+        assert callees == {
+            "repro.overlay.dht.DHTProtocol.lookup",
+            "repro.overlay.chord.ChordRing.lookup",
+        }
+
+    def test_untyped_receiver_uses_dispatch_roots(self, tmp_path):
+        _, graph = build(tmp_path, dict(self.FILES))
+        callees = set(graph.callees("repro.query.q.run"))
+        assert callees == {
+            "repro.overlay.dht.DHTProtocol.lookup",
+            "repro.overlay.chord.ChordRing.lookup",
+        }
+
+    def test_dispatch_respects_configured_roots(self, tmp_path):
+        config = Config(dispatch_roots=())
+        _, graph = build(tmp_path, dict(self.FILES), config=config)
+        assert graph.callees("repro.query.q.run") == {}
+
+    def test_annotated_receiver_resolves_precisely(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/query/typed.py"] = """
+            from repro.overlay.chord import ChordRing
+
+            def run(ring: ChordRing, key):
+                return ring.lookup(key)
+            """
+        _, graph = build(tmp_path, files)
+        callees = set(graph.callees("repro.query.typed.run"))
+        assert callees == {"repro.overlay.chord.ChordRing.lookup"}
+
+    def test_constructor_edge_and_local_type(self, tmp_path):
+        files = dict(self.FILES)
+        files["repro/query/build.py"] = """
+            from repro.overlay.chord import ChordRing
+
+            def make(key):
+                ring = ChordRing()
+                return ring.lookup(key)
+            """
+        _, graph = build(tmp_path, files)
+        callees = set(graph.callees("repro.query.build.make"))
+        assert callees == {
+            "repro.overlay.chord.ChordRing.__init__",
+            "repro.overlay.chord.ChordRing.lookup",
+        }
+
+
+class TestCycles:
+    def test_mutual_recursion_edges_and_reachability(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/m.py": """
+                    def even(n):
+                        return n == 0 or odd(n - 1)
+
+                    def odd(n):
+                        return n != 0 and even(n - 1)
+                    """,
+            },
+        )
+        assert graph.edge_list() == [
+            ("repro.m.even", "repro.m.odd"),
+            ("repro.m.odd", "repro.m.even"),
+        ]
+        # Closure over a cycle terminates and contains both ends.
+        assert graph.reachable({"repro.m.even"}) == {
+            "repro.m.even",
+            "repro.m.odd",
+        }
+
+
+class TestEdgeMetadata:
+    def test_first_call_site_is_recorded(self, tmp_path):
+        _, graph = build(
+            tmp_path,
+            {
+                "repro/m.py": """
+                    def callee():
+                        return 1
+
+                    def caller():
+                        callee()
+                        return callee()
+                    """,
+            },
+        )
+        line, _col = graph.callees("repro.m.caller")["repro.m.callee"]
+        # Fixture bodies keep their leading newline, so ``def callee`` sits
+        # on line 2 and the first of the two call sites on line 6.
+        assert line == 6
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,613 @@
+"""Tests for the whole-program dataflow passes (DHS8xx) and their plumbing.
+
+Fixture trees are miniature ``repro`` packages; each pass gets a seeded
+defect it must catch (an RNG leak crossing modules, an out-of-API store
+write, an impure merge function, ...) and a clean twin it must not flag.
+Waiver handling, the result cache, and statement-span suppression
+anchoring are covered at the same level.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from tools.analyze import Config, analyze_file, analyze_paths
+from tools.analyze.cache import AnalysisCache
+from tools.analyze.engine import Violation
+from tools.analyze.waivers import load_waivers
+
+
+def make_package(root: Path, files: Dict[str, str]) -> Path:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for ancestor in path.relative_to(root).parents:
+            if str(ancestor) != ".":
+                (root / ancestor / "__init__.py").touch()
+        path.write_text(textwrap.dedent(body))
+    return root / "repro"
+
+
+def dataflow_codes(tmp_path: Path, files: Dict[str, str], **kwargs) -> List[str]:
+    pkg = make_package(tmp_path, files)
+    report = analyze_paths([pkg], Config(), dataflow=True, **kwargs)
+    assert not report.errors, report.errors
+    return [v.code for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# RNG-taint (DHS801–DHS803)
+# ----------------------------------------------------------------------
+class TestRngTaint:
+    def test_cross_module_rng_leak(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/entropy.py": """
+                    import random
+
+                    def make_rng():
+                        return random.Random()
+                    """,
+                "repro/experiments/driver.py": """
+                    from repro.sim.entropy import make_rng
+
+                    def run():
+                        rng = make_rng()
+                        return rng.random()
+                    """,
+            },
+        )
+        # The construction is flagged where it happens AND where it leaks
+        # across the module boundary.
+        assert "DHS801" in codes
+        assert "DHS802" in codes
+
+    def test_unblessed_literal_seed_flagged(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/bad.py": """
+                    import random
+
+                    def make():
+                        return random.Random(1234)
+                    """,
+            },
+        )
+        assert "DHS801" in codes
+
+    def test_seed_derived_constructions_clean(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/good.py": """
+                    import random
+                    from repro.sim.seeds import derive_seed
+
+                    def make(seed):
+                        return random.Random(derive_seed(seed, "sub"))
+
+                    def make_from_param(worker_seed):
+                        return random.Random(worker_seed % (2 ** 32))
+                    """,
+            },
+        )
+        assert [c for c in codes if c.startswith("DHS80")] == []
+
+    def test_seed_passed_to_rng_parameter(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/helper.py": """
+                    def draw(rng):
+                        return rng.random()
+                    """,
+                "repro/experiments/use.py": """
+                    from repro.sim.helper import draw
+
+                    def run(seed):
+                        return draw(seed)
+                    """,
+            },
+        )
+        assert "DHS803" in codes
+
+    def test_rng_passed_to_rng_parameter_clean(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/helper.py": """
+                    def draw(rng):
+                        return rng.random()
+                    """,
+                "repro/experiments/use.py": """
+                    from repro.sim.helper import draw
+                    from repro.sim.seeds import rng_for
+
+                    def run(seed):
+                        return draw(rng_for(seed, "use"))
+                    """,
+            },
+        )
+        assert [c for c in codes if c.startswith("DHS80")] == []
+
+    def test_seed_module_is_exempt(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sim/seeds.py": """
+                    import random
+
+                    def rng_for(seed, label):
+                        return random.Random(hash((seed, label)))
+                    """,
+            },
+        )
+        assert [c for c in codes if c.startswith("DHS80")] == []
+
+
+# ----------------------------------------------------------------------
+# Worker shared-state writes (DHS811–DHS813)
+# ----------------------------------------------------------------------
+class TestSharedState:
+    def test_global_write_in_worker_cell(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/experiments/exp.py": """
+                    from repro.sim.parallel import TrialSpec
+
+                    TOTALS = {}
+
+                    def _cell(seed):
+                        TOTALS["runs"] = 1
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS811" in codes
+
+    def test_global_write_outside_worker_path_not_811(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/experiments/exp.py": """
+                    TOTALS = {}
+
+                    def untracked(seed):
+                        TOTALS["runs"] = 1
+                        return 0
+                    """,
+            },
+        )
+        assert "DHS811" not in codes
+
+    def test_out_of_api_store_write(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/experiments/exp.py": """
+                    from repro.sim.parallel import TrialSpec
+
+                    def _cell(seed, node):
+                        node.store["k"] = 1
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS812" in codes
+
+    def test_store_callback_pattern_is_sanctioned(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/experiments/exp.py": """
+                    from repro.sim.parallel import TrialSpec
+
+                    def _cell(seed, dht, key):
+                        def write(node):
+                            node.store[key] = 1
+
+                        dht.store(key, write)
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS812" not in codes
+
+    def test_overlay_owns_store_writes(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/overlay/dht.py": """
+                    from repro.sim.parallel import TrialSpec
+
+                    def _cell(seed, node):
+                        node.store["k"] = 1
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS812" not in codes
+
+    def test_obs_internals_mutation(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/obs/runtime.py": "METRICS = {}\n",
+                "repro/experiments/exp.py": """
+                    from repro.sim.parallel import TrialSpec
+                    from repro.obs.runtime import METRICS
+
+                    def _cell(seed):
+                        METRICS["draws"] = 1
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS813" in codes
+
+    def test_roots_flow_through_call_graph(self, tmp_path):
+        # The defect sits two hops below the TrialSpec entry point.
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/experiments/exp.py": """
+                    from repro.sim.parallel import TrialSpec
+
+                    COUNTS = {}
+
+                    def _leaf():
+                        COUNTS["n"] = 1
+
+                    def _mid():
+                        _leaf()
+
+                    def _cell(seed):
+                        _mid()
+                        return 0
+
+                    def main():
+                        return TrialSpec(fn=_cell, seed=1)
+                    """,
+            },
+        )
+        assert "DHS811" in codes
+
+
+# ----------------------------------------------------------------------
+# Purity (DHS821–DHS822)
+# ----------------------------------------------------------------------
+PURITY_BASE = {
+    "repro/sketches/base.py": """
+        class Sketch:
+            def __init__(self):
+                self.regs = []
+
+            def copy(self):
+                return Sketch()
+
+            def merge(self, other):
+                self.regs.append(other)
+        """,
+}
+
+
+class TestPurity:
+    def test_direct_param_mutation_in_merge_module(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sketches/merge.py": """
+                    def union_into(target, other):
+                        target.regs.update(other.regs)
+                        return target
+                    """,
+            },
+        )
+        assert "DHS821" in codes
+
+    def test_chain_impurity_with_witness(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            {
+                **PURITY_BASE,
+                "repro/sketches/merge.py": """
+                    from repro.sketches.base import Sketch
+
+                    def union_bad(first: Sketch, rest):
+                        first.merge(rest)
+                        return first
+                    """,
+            },
+        )
+        report = analyze_paths([pkg], Config(), dataflow=True)
+        chain = [v for v in report.violations if v.code == "DHS822"]
+        assert chain, [v.code for v in report.violations]
+        assert "Sketch.merge" in chain[0].message
+
+    def test_fresh_local_mutation_is_pure(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                **PURITY_BASE,
+                "repro/sketches/merge.py": """
+                    from repro.sketches.base import Sketch
+
+                    def union_all(first: Sketch, rest):
+                        result = Sketch()
+                        result.merge(first)
+                        for sketch in rest:
+                            result.merge(sketch)
+                        return result
+                    """,
+            },
+        )
+        assert [c for c in codes if c.startswith("DHS82")] == []
+
+    def test_estimator_method_mutating_self(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sketches/flaky.py": """
+                    class Flaky:
+                        def __init__(self):
+                            self.calls = 0
+
+                        def estimate(self):
+                            self.calls += 1
+                            return 1.0
+                    """,
+            },
+        )
+        assert "DHS821" in codes
+
+    def test_io_in_required_module(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                "repro/sketches/setops.py": """
+                    def estimate_union(a, b):
+                        print("estimating")
+                        return 0.0
+                    """,
+            },
+        )
+        assert "DHS821" in codes
+
+    def test_pure_reads_stay_clean(self, tmp_path):
+        codes = dataflow_codes(
+            tmp_path,
+            {
+                **PURITY_BASE,
+                "repro/sketches/setops.py": """
+                    from repro.sketches.base import Sketch
+
+                    def estimate_intersection(a: Sketch, b: Sketch):
+                        return len(a.regs) + len(b.regs)
+                    """,
+            },
+        )
+        assert [c for c in codes if c.startswith("DHS82")] == []
+
+
+# ----------------------------------------------------------------------
+# Waivers
+# ----------------------------------------------------------------------
+WORKER_GLOBAL_WRITE = {
+    "repro/experiments/exp.py": """
+        from repro.sim.parallel import TrialSpec
+
+        TOTALS = {}
+
+        def _cell(seed):
+            TOTALS["runs"] = 1
+            return 0
+
+        def main():
+            return TrialSpec(fn=_cell, seed=1)
+        """,
+}
+
+
+class TestWaivers:
+    def _waiver_file(self, tmp_path: Path, body: str) -> Path:
+        path = tmp_path / ".dhslint-waivers"
+        path.write_text(textwrap.dedent(body))
+        return path
+
+    def test_active_waiver_moves_violation_aside(self, tmp_path):
+        pkg = make_package(tmp_path, dict(WORKER_GLOBAL_WRITE))
+        waivers = load_waivers(
+            self._waiver_file(
+                tmp_path,
+                """
+                # tracking issue #42
+                DHS811  experiments/exp.py  expires=2099-01-01  migrating to snapshot merge
+                """,
+            )
+        )
+        report = analyze_paths([pkg], Config(), dataflow=True, waivers=waivers)
+        assert "DHS811" not in [v.code for v in report.violations]
+        assert [v.code for v in report.waived] == ["DHS811"]
+        assert report.waiver_errors == []
+
+    def test_expired_waiver_resurfaces(self, tmp_path):
+        pkg = make_package(tmp_path, dict(WORKER_GLOBAL_WRITE))
+        waivers = load_waivers(
+            self._waiver_file(
+                tmp_path,
+                "DHS811  experiments/exp.py  expires=2020-01-01  old excuse\n",
+            )
+        )
+        report = analyze_paths([pkg], Config(), dataflow=True, waivers=waivers)
+        assert "DHS811" in [v.code for v in report.violations]
+        assert any("expired" in problem for problem in report.waiver_errors)
+
+    def test_waiver_without_reason_is_a_problem(self, tmp_path):
+        waivers = load_waivers(
+            self._waiver_file(tmp_path, "DHS811  exp.py  expires=2099-01-01\n")
+        )
+        assert waivers.waivers == []
+        assert any("justification" in p for p in waivers.problems)
+
+    def test_waiver_without_expiry_is_a_problem(self, tmp_path):
+        waivers = load_waivers(
+            self._waiver_file(tmp_path, "DHS811  exp.py  some reason here\n")
+        )
+        assert waivers.waivers == []
+        assert any("expires" in p for p in waivers.problems)
+
+    def test_line_pinning(self, tmp_path):
+        waiver = load_waivers(
+            self._waiver_file(
+                tmp_path,
+                "DHS811  exp.py  expires=2099-01-01  line=7  pinned reason\n",
+            ),
+            today=datetime.date(2026, 1, 1),
+        ).waivers[0]
+        hit = Violation(code="DHS811", message="m", path="x/exp.py", line=7, col=0)
+        miss = Violation(code="DHS811", message="m", path="x/exp.py", line=9, col=0)
+        assert waiver.covers(hit)
+        assert not waiver.covers(miss)
+
+
+# ----------------------------------------------------------------------
+# Result cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_second_run_hits_for_unchanged_files(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sim/mod.py": "def f():\n    return 1\n"}
+        )
+        cache_path = tmp_path / "cache.json"
+        config = Config()
+        first = analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        assert first.cache_hits == 0 and first.cache_misses > 0
+        second = analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        assert second.cache_misses == 0
+        assert second.cache_hits == first.cache_misses
+        assert [v.code for v in second.violations] == [
+            v.code for v in first.violations
+        ]
+
+    def test_content_change_invalidates_one_file(self, tmp_path):
+        pkg = make_package(
+            tmp_path,
+            {
+                "repro/sim/a.py": "def f():\n    return 1\n",
+                "repro/sim/b.py": "def g():\n    return 2\n",
+            },
+        )
+        cache_path = tmp_path / "cache.json"
+        config = Config()
+        analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        (pkg / "sim" / "a.py").write_text("import time\nx = time.time()\n")
+        rerun = analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        assert rerun.cache_misses == 1
+        assert "DHS102" in [v.code for v in rerun.violations]
+
+    def test_config_change_invalidates_everything(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sim/mod.py": "def f():\n    return 1\n"}
+        )
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([pkg], Config(), cache=AnalysisCache(cache_path, Config()))
+        changed = Config(disable=("DHS101",))
+        rerun = analyze_paths([pkg], changed, cache=AnalysisCache(cache_path, changed))
+        assert rerun.cache_hits == 0
+
+    def test_cached_violations_round_trip(self, tmp_path):
+        pkg = make_package(
+            tmp_path, {"repro/sim/mod.py": "import time\nx = time.time()\n"}
+        )
+        cache_path = tmp_path / "cache.json"
+        config = Config()
+        first = analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        second = analyze_paths([pkg], config, cache=AnalysisCache(cache_path, config))
+        assert second.cache_hits > 0
+        assert [v.render() for v in second.violations] == [
+            v.render() for v in first.violations
+        ]
+        assert json.loads(cache_path.read_text())["files"]
+
+
+# ----------------------------------------------------------------------
+# Suppression anchoring over multi-line statements
+# ----------------------------------------------------------------------
+class TestSuppressionSpans:
+    def lint(self, tmp_path: Path, source: str):
+        path = tmp_path / "snippet.py"
+        path.write_text(textwrap.dedent(source))
+        violations, suppressed = analyze_file(path, Config(), module=None)
+        return [v.code for v in violations], suppressed
+
+    def test_comment_on_first_line_covers_continuations(self, tmp_path):
+        codes, suppressed = self.lint(
+            tmp_path,
+            """
+            import time
+
+            now = (  # dhslint: disable=DHS102
+                time.time()
+            )
+            """,
+        )
+        assert codes == []
+        assert suppressed == 1
+
+    def test_comment_on_continuation_line_covers_whole_statement(self, tmp_path):
+        codes, suppressed = self.lint(
+            tmp_path,
+            """
+            import time
+
+            pair = (
+                time.time(),
+                1,  # dhslint: disable=DHS102
+            )
+            """,
+        )
+        assert codes == []
+        assert suppressed == 1
+
+    def test_decorator_comment_does_not_blanket_the_body(self, tmp_path):
+        codes, _ = self.lint(
+            tmp_path,
+            """
+            import functools
+            import time
+
+            @functools.wraps(print)  # dhslint: disable=DHS102
+            def f():
+                return time.time()
+            """,
+        )
+        assert codes == ["DHS102"]
+
+
+if __name__ == "__main__":
+    sys.exit(pytest.main([__file__, "-q"]))

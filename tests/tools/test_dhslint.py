@@ -593,8 +593,71 @@ class TestCli:
             "DHS201", "DHS202", "DHS203",
             "DHS301", "DHS401", "DHS402", "DHS403",
             "DHS501", "DHS502", "DHS601",
+            # Whole-program dataflow rules.
+            "DHS801", "DHS802", "DHS803",
+            "DHS811", "DHS812", "DHS813",
+            "DHS821", "DHS822",
         ):
             assert code in result.stdout
+
+    def test_shipped_tree_is_dataflow_clean(self):
+        result = run_cli("--dataflow", "--no-cache", "src/repro")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 violation(s)" in result.stdout
+        assert "dataflow [" in result.stdout
+
+    def test_sarif_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        result = run_cli("--format", "sarif", str(bad), cwd=tmp_path)
+        assert result.returncode == 1
+        sarif = json.loads(result.stdout)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "dhslint"
+        assert run["results"][0]["ruleId"] == "DHS102"
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_github_format(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        result = run_cli("--format", "github", str(bad), cwd=tmp_path)
+        assert result.returncode == 1
+        assert "::error file=" in result.stdout
+        assert "title=DHS102" in result.stdout
+
+    def test_output_file(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        out = tmp_path / "report.sarif"
+        result = run_cli(
+            "--format", "sarif", "--output", str(out), str(bad), cwd=tmp_path
+        )
+        assert result.returncode == 1
+        assert json.loads(out.read_text())["version"] == "2.1.0"
+
+    def test_cache_hit_rate_printed_and_bypassed(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def f():\n    return 1\n")
+        cold = run_cli("--cache-file", str(tmp_path / "c.json"), str(mod), cwd=tmp_path)
+        assert cold.returncode == 0
+        assert "cache 0/1 hit(s) (0%)" in cold.stdout
+        warm = run_cli("--cache-file", str(tmp_path / "c.json"), str(mod), cwd=tmp_path)
+        assert "cache 1/1 hit(s) (100%)" in warm.stdout
+        uncached = run_cli("--no-cache", str(mod), cwd=tmp_path)
+        assert "cache" not in uncached.stdout
+
+    def test_waivers_flag_round_trip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        waivers = tmp_path / ".dhslint-waivers"
+        waivers.write_text(
+            "DHS102  bad.py  expires=2099-01-01  fixture clock is intentional\n"
+        )
+        result = run_cli(str(bad), cwd=tmp_path)
+        assert result.returncode == 0, result.stdout
+        assert "1 violation(s) waived" in result.stdout
 
     def test_pyproject_config_is_honoured(self, tmp_path):
         # A custom layer map in the fixture's pyproject.toml flips the

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from tools.analyze.config import Config, load_config
 from tools.analyze.engine import (
+    PROJECT_REGISTRY,
     REGISTRY,
     FileContext,
+    ProjectRule,
     Report,
     Rule,
     Violation,
@@ -30,12 +32,16 @@ from tools.analyze.engine import (
     analyze_paths,
 )
 
-# Importing the rules package registers every rule class.
+# Importing the rules package registers every per-file rule class.  The
+# whole-program DHS8xx rules register when ``tools.analyze.dataflow`` is
+# imported (lazily, on the first ``dataflow=True`` run).
 from tools.analyze import rules as _rules  # noqa: F401
 
 __all__ = [
     "Config",
     "FileContext",
+    "PROJECT_REGISTRY",
+    "ProjectRule",
     "REGISTRY",
     "Report",
     "Rule",

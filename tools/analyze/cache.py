@@ -1,0 +1,96 @@
+"""Content-hash cache for per-file rule results.
+
+Repeat dhslint runs mostly re-analyze unchanged files; this cache keys
+each file's violations by a sha256 of its content so only changed files
+are re-parsed and re-checked.  The whole cache is invalidated when the
+tool version, the registered rule set, or the resolved configuration
+changes (all folded into one fingerprint).  Whole-program dataflow
+results are *never* cached — they depend on every file at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from tools.analyze.config import Config
+from tools.analyze.engine import REGISTRY, TOOL_VERSION, Violation
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_PATH"]
+
+DEFAULT_CACHE_PATH = Path(".dhslint_cache.json")
+
+
+def _fingerprint(config: Config) -> str:
+    """Hash of everything that invalidates cached results wholesale."""
+    digest = hashlib.sha256()
+    digest.update(TOOL_VERSION.encode())
+    digest.update(",".join(sorted(REGISTRY)).encode())
+    digest.update(repr(config).encode())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """Per-file (violations, suppressed) results keyed by content hash."""
+
+    def __init__(self, path: Path, config: Config) -> None:
+        self.path = path
+        self.fingerprint = _fingerprint(config)
+        self._files: Dict[str, dict] = {}
+        self._dirty = False
+        if path.is_file():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (json.JSONDecodeError, OSError):
+                data = {}
+            if data.get("fingerprint") == self.fingerprint:
+                files = data.get("files", {})
+                if isinstance(files, dict):
+                    self._files = files
+
+    @staticmethod
+    def _content_hash(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def lookup(
+        self, path: Path, source: str
+    ) -> Optional[Tuple[List[Violation], int]]:
+        """Cached ``(violations, suppressed)`` if content is unchanged."""
+        entry = self._files.get(str(path))
+        if entry is None or entry.get("hash") != self._content_hash(source):
+            return None
+        try:
+            violations = [Violation(**v) for v in entry["violations"]]
+            suppressed = int(entry["suppressed"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return violations, suppressed
+
+    def store(
+        self, path: Path, source: str, violations: List[Violation], suppressed: int
+    ) -> None:
+        """Record fresh results for one file."""
+        self._files[str(path)] = {
+            "hash": self._content_hash(source),
+            "violations": [asdict(v) for v in violations],
+            "suppressed": suppressed,
+        }
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Write the cache back (atomically) if anything changed."""
+        if not self._dirty:
+            return
+        payload = json.dumps(
+            {"fingerprint": self.fingerprint, "files": self._files}, sort_keys=True
+        )
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:  # pragma: no cover - read-only checkout: run uncached
+            return
+        self._dirty = False

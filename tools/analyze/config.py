@@ -56,6 +56,26 @@ class Config:
     disable: tuple[str, ...] = ()
     #: Path substrings to skip entirely.
     exclude: tuple[str, ...] = field(default_factory=tuple)
+    # ------------------------------------------------------------------
+    # Whole-program dataflow (DHS8xx) configuration.
+    # ------------------------------------------------------------------
+    #: Abstract classes whose method calls dispatch to every declared
+    #: implementor when the receiver's concrete type is unknown.
+    dispatch_roots: tuple[str, ...] = ("repro.overlay.dht.DHTProtocol",)
+    #: The picklable trial-cell spec; its ``fn`` arguments are the worker
+    #: entry points of the shared-state write analysis (DHS81x).
+    trial_spec: str = "repro.sim.parallel.TrialSpec"
+    #: Module prefixes whose shared-state writes are sanctioned (the
+    #: parallel harness itself and the obs merge machinery).
+    worker_exempt: tuple[str, ...] = ("repro.obs", "repro.sim.parallel")
+    #: Module prefixes allowed to write node stores directly — everything
+    #: else must go through ``DHTProtocol.store``'s write callback.
+    store_write_modules: tuple[str, ...] = ("repro.overlay", "repro.core.tuples")
+    #: Modules whose public functions must be provably side-effect-free
+    #: (the sketch-merge algebra, DHS82x).
+    purity_modules: tuple[str, ...] = ("repro.sketches.merge", "repro.sketches.setops")
+    #: Packages whose ``estimate`` methods must be side-effect-free.
+    estimator_packages: tuple[str, ...] = ("repro.sketches",)
 
     def layer_of(self, segment: str) -> Optional[int]:
         """Layer index of a top-level segment, or ``None`` if unassigned."""
@@ -73,11 +93,18 @@ def _from_table(table: Mapping[str, Any]) -> Config:
     if "layers" in table:
         layers = tuple(tuple(str(name) for name in group) for group in table["layers"])
         config = replace(config, layers=layers)
+    if "trial-spec" in table:
+        config = replace(config, trial_spec=str(table["trial-spec"]))
     for toml_key, attr in (
         ("determinism-exempt", "determinism_exempt"),
         ("float-strict", "float_strict"),
         ("disable", "disable"),
         ("exclude", "exclude"),
+        ("dispatch-roots", "dispatch_roots"),
+        ("worker-exempt", "worker_exempt"),
+        ("store-write-modules", "store_write_modules"),
+        ("purity-modules", "purity_modules"),
+        ("estimator-packages", "estimator_packages"),
     ):
         if toml_key in table:
             values: Sequence[Any] = table[toml_key]

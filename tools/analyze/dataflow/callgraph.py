@@ -1,0 +1,208 @@
+"""Project call graph with conservative dynamic dispatch.
+
+Edges are resolved lexically from each function body:
+
+* plain calls through import aliases and re-exports (``union_all(...)``
+  after ``from repro.sketches import union_all``);
+* constructor calls (``ChordRing(...)`` edges to ``ChordRing.__init__``);
+* ``self.method(...)`` through the project MRO, *plus* every subclass
+  override — a base-class helper calling an abstract hook reaches every
+  implementation;
+* receiver-typed calls where the receiver's class is known from a
+  parameter annotation or a constructor/classmethod assignment
+  (``ring = ChordRing.build(...)``; ``dht: DHTProtocol``);
+* untyped method calls whose name belongs to a configured dispatch root
+  hierarchy (``DHTProtocol``) fan out to every declared implementor.
+
+Unresolvable calls (callables passed as values, stdlib) produce no
+edges; the passes that need soundness treat those conservatively at
+their own level.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.analyze.config import Config
+from tools.analyze.dataflow.symbols import FunctionInfo, SymbolTable, _dotted
+
+__all__ = ["CallGraph", "CallResolver", "build_callgraph"]
+
+
+@dataclass
+class CallGraph:
+    """Caller -> callees with the first call site of each edge."""
+
+    edges: Dict[str, Dict[str, Tuple[int, int]]] = field(default_factory=dict)
+
+    def add(self, caller: str, callee: str, site: Tuple[int, int]) -> None:
+        self.edges.setdefault(caller, {}).setdefault(callee, site)
+
+    def callees(self, caller: str) -> Dict[str, Tuple[int, int]]:
+        return self.edges.get(caller, {})
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        """Sorted ``(caller, callee)`` pairs (golden-test friendly)."""
+        return sorted(
+            (caller, callee)
+            for caller, callees in self.edges.items()
+            for callee in callees
+        )
+
+    def reachable(self, roots: Set[str]) -> Set[str]:
+        """Transitive closure of ``roots`` over the edges."""
+        seen = set(roots)
+        frontier = list(roots)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return seen
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(callees) for callees in self.edges.values())
+
+
+class CallResolver:
+    """Resolve one function's call expressions to project definitions."""
+
+    def __init__(self, symbols: SymbolTable, config: Config, fn: FunctionInfo) -> None:
+        self.symbols = symbols
+        self.config = config
+        self.fn = fn
+        self.receiver = fn.receiver_name()
+        #: Local variable -> class qualname, from annotations/constructors.
+        self.local_types: Dict[str, str] = {}
+        self._collect_param_types()
+        self._collect_local_types()
+
+    # ------------------------------------------------------------------
+    # Local type environment.
+    # ------------------------------------------------------------------
+    def _class_of_annotation(self, annotation: Optional[ast.expr]) -> Optional[str]:
+        if annotation is None:
+            return None
+        node = annotation
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                node = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(node, ast.Subscript):  # Optional[X] / list[X]
+            return None
+        resolved = self.symbols.resolve_expr(self.fn.module, node)
+        if resolved is not None and resolved in self.symbols.classes:
+            return resolved
+        return None
+
+    def _collect_param_types(self) -> None:
+        args = self.fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            cls = self._class_of_annotation(arg.annotation)
+            if cls is not None:
+                self.local_types[arg.arg] = cls
+
+    def _collect_local_types(self) -> None:
+        for node in ast.walk(self.fn.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name) or not isinstance(node.value, ast.Call):
+                continue
+            resolved = self.symbols.resolve_expr(self.fn.module, node.value.func)
+            if resolved is None:
+                continue
+            resolved = self.symbols.canonical(resolved)
+            if resolved in self.symbols.classes:
+                self.local_types[target.id] = resolved
+            else:
+                # ``ring = ChordRing.build(...)``: a classmethod of a
+                # project class is assumed to return an instance.
+                owner = resolved.rsplit(".", 1)[0]
+                if owner in self.symbols.classes:
+                    fn = self.symbols.functions.get(resolved)
+                    if fn is not None and fn.is_method:
+                        self.local_types[target.id] = owner
+
+    # ------------------------------------------------------------------
+    # Call resolution.
+    # ------------------------------------------------------------------
+    def _method_with_overrides(
+        self, class_qualname: str, name: str
+    ) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        base = self.symbols.mro_method(class_qualname, name)
+        if base is not None:
+            out.append(base)
+        for override in self.symbols.implementations(class_qualname, name):
+            if override not in out:
+                out.append(override)
+        return out
+
+    def resolve_call(self, call: ast.Call) -> List[FunctionInfo]:
+        """Project definitions a call expression may reach (possibly empty)."""
+        func = call.func
+        # Method-style call with a resolvable receiver type.
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            root = func.value.id
+            method = func.attr
+            if root == self.receiver and self.fn.cls is not None:
+                resolved = self._method_with_overrides(self.fn.cls, method)
+                if resolved:
+                    return resolved
+            if root in self.local_types:
+                resolved = self._method_with_overrides(self.local_types[root], method)
+                if resolved:
+                    return resolved
+        dotted = _dotted(func)
+        if dotted is not None:
+            qualname = self.symbols.canonical_from(self.fn.module, dotted)
+            if qualname is not None:
+                qualname = self.symbols.canonical(qualname)
+                if qualname in self.symbols.functions:
+                    return [self.symbols.functions[qualname]]
+                if qualname in self.symbols.classes:
+                    init = self.symbols.mro_method(qualname, "__init__")
+                    return [init] if init is not None else []
+        # Untyped method call: conservative dispatch-root fan-out.
+        if isinstance(func, ast.Attribute):
+            dispatched = self.symbols.dispatch_method(
+                func.attr, self.config.dispatch_roots
+            )
+            if dispatched:
+                return dispatched
+        return []
+
+    def receiver_root(self, call: ast.Call) -> Optional[str]:
+        """Root name of a method call's receiver (``x`` in ``x.a.b(...)``)."""
+        node = call.func
+        if not isinstance(node, ast.Attribute):
+            return None
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call expression under ``node`` (nested defs included)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def build_callgraph(symbols: SymbolTable, config: Config) -> CallGraph:
+    """Resolve every call in every project function into a graph."""
+    graph = CallGraph()
+    for fn in symbols.functions.values():
+        resolver = CallResolver(symbols, config, fn)
+        for call in iter_calls(fn.node):
+            for callee in resolver.resolve_call(call):
+                graph.add(
+                    fn.qualname, callee.qualname, (call.lineno, call.col_offset)
+                )
+    return graph

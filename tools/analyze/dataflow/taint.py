@@ -1,0 +1,567 @@
+"""RNG-taint analysis (DHS801–DHS803).
+
+The determinism contract says every random stream must trace back to the
+experiment seed: RNGs are built by ``repro.sim.seeds.rng_for`` (or from
+a value derived via ``derive_seed``/an explicit seed parameter), never
+from ambient entropy.  The per-file DHS101 rule catches direct
+``random.random()`` calls; this pass catches the interprocedural leaks
+it cannot see — an unseeded RNG constructed in one function and handed
+to another, or a helper that *returns* an unseeded RNG.
+
+Abstract domain per value::
+
+    SEED     derived from the experiment seed (derive_seed result,
+             seed-named parameter, arithmetic over a SEED)
+    RNG_OK   an RNG constructed from a SEED (or rng_for, or an rng-named
+             parameter — the caller is responsible for its seeding)
+    RNG_BAD  an RNG constructed without a SEED (ambient entropy)
+    OTHER    anything else
+
+Function return summaries are computed to a fixpoint over the call
+graph, then each function body is swept once to emit:
+
+* **DHS801** — RNG constructed without a seed-derived argument;
+* **DHS802** — an RNG_BAD value crossing a call boundary (returned by a
+  callee, or passed into an rng-parameter);
+* **DHS803** — seed/RNG kind mismatch at a call boundary (a SEED passed
+  where an RNG is expected, or vice versa).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.analyze.engine import ProjectRule, Violation, register_project
+from tools.analyze.dataflow.callgraph import CallResolver, iter_calls
+from tools.analyze.dataflow.symbols import FunctionInfo, _dotted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.analyze.dataflow.project import ProjectContext
+
+__all__ = ["TaintAnalysis"]
+
+SEED = "SEED"
+RNG_OK = "RNG_OK"
+RNG_BAD = "RNG_BAD"
+OTHER = "OTHER"
+
+#: Canonical names that construct an RNG from their first/seed argument.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+#: ``random.SystemRandom`` is entropy-backed by design — never seedable.
+NEVER_SEEDABLE = frozenset({"random.SystemRandom"})
+
+
+def is_seedish(name: str) -> bool:
+    return "seed" in name.lower()
+
+
+def is_rngish(name: str) -> bool:
+    stripped = name.lower().strip("_")
+    return stripped == "rng" or stripped.endswith("_rng") or stripped.startswith("rng_")
+
+
+def join(a: str, b: str) -> str:
+    if a == b:
+        return a
+    if RNG_BAD in (a, b):
+        return RNG_BAD
+    return OTHER
+
+
+def module_in(module: Optional[str], prefixes: Iterable[str]) -> bool:
+    if module is None:
+        return False
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+@dataclass
+class ConstructionSite:
+    """One RNG constructor call and the taint of its seed argument."""
+
+    module: str
+    path: str
+    node: ast.Call
+    constructor: str
+    seed_taint: Optional[str]  # None when called with no seed at all
+
+
+class _Evaluator:
+    """Flow-insensitive taint environment for one function (or module) body."""
+
+    def __init__(
+        self,
+        analysis: "TaintAnalysis",
+        module: str,
+        fn: Optional[FunctionInfo],
+        resolver: Optional[CallResolver],
+    ) -> None:
+        self.analysis = analysis
+        self.module = module
+        self.fn = fn
+        self.resolver = resolver
+        self.env: Dict[str, str] = {}
+        self.receiver = fn.receiver_name() if fn is not None else None
+        if fn is not None:
+            self._seed_params()
+
+    def _seed_params(self) -> None:
+        assert self.fn is not None
+        args = self.fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if is_seedish(arg.arg):
+                self.env[arg.arg] = SEED
+            elif is_rngish(arg.arg) or self._rng_annotation(arg.annotation):
+                self.env[arg.arg] = RNG_OK
+
+    def _rng_annotation(self, annotation: Optional[ast.expr]) -> bool:
+        if annotation is None:
+            return False
+        dotted = _dotted(annotation)
+        if dotted is None:
+            return False
+        tail = dotted.rsplit(".", 1)[-1]
+        return tail in {"Random", "Generator", "RandomState"}
+
+    def bind_assignments(self, body: List[ast.stmt]) -> None:
+        """Process assignment statements in source order to build the env."""
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    self.env[target.id] = self.eval(stmt.value)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    self.env[stmt.target.id] = self.eval(stmt.value)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, OTHER)
+                if current == SEED:  # seed arithmetic stays a seed
+                    continue
+                self.env[stmt.target.id] = self.eval(stmt.value)
+            # Recurse into nested blocks (order-preserving, no CFG).
+            for field_name in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, field_name, None)
+                if nested:
+                    self.bind_assignments(nested)
+            for handler in getattr(stmt, "handlers", []) or []:
+                self.bind_assignments(handler.body)
+
+    # ------------------------------------------------------------------
+    def eval(self, node: ast.expr) -> str:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, OTHER)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            if SEED in (left, right):
+                return SEED
+            return OTHER
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, (ast.Await, ast.Starred)):
+            return self.eval(node.value)
+        return OTHER
+
+    def _eval_attribute(self, node: ast.Attribute) -> str:
+        # ``self.attr`` reads go through the class attribute table first.
+        if (
+            self.receiver is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self.receiver
+            and self.fn is not None
+            and self.fn.cls is not None
+        ):
+            table = self.analysis.attr_tables.get(self.fn.cls, {})
+            if node.attr in table:
+                return table[node.attr]
+        # Name-convention fallback: ``args.seed``, ``spec.seed``, ``cfg.rng``.
+        if is_seedish(node.attr):
+            return SEED
+        if is_rngish(node.attr):
+            return RNG_OK
+        return OTHER
+
+    def _seed_argument(self, call: ast.Call) -> Tuple[Optional[ast.expr], bool]:
+        """The seed-carrying argument of an RNG constructor, if any."""
+        if call.args:
+            return call.args[0], True
+        for keyword in call.keywords:
+            if keyword.arg is not None and is_seedish(keyword.arg):
+                return keyword.value, True
+        return None, False
+
+    def eval_call(self, call: ast.Call) -> str:
+        constructor = self._constructor_name(call)
+        if constructor is not None:
+            seed_arg, has_seed = self._seed_argument(call)
+            seed_taint = self.eval(seed_arg) if seed_arg is not None else None
+            path = self.analysis.module_path(self.module)
+            if constructor in NEVER_SEEDABLE:
+                taint = RNG_BAD
+            elif has_seed and seed_taint == SEED:
+                taint = RNG_OK
+            else:
+                taint = RNG_BAD
+            if taint == RNG_BAD:
+                self.analysis.record_construction(
+                    ConstructionSite(
+                        module=self.module,
+                        path=path,
+                        node=call,
+                        constructor=constructor,
+                        seed_taint=seed_taint,
+                    )
+                )
+            return taint
+        # Resolved project callees: join their return summaries.
+        if self.resolver is not None:
+            callees = self.resolver.resolve_call(call)
+            if callees:
+                summary = self.analysis.summaries.get(callees[0].qualname, OTHER)
+                for callee in callees[1:]:
+                    summary = join(
+                        summary, self.analysis.summaries.get(callee.qualname, OTHER)
+                    )
+                return summary
+        # Convention fallback for snippet fixtures without full resolution.
+        bare = self._bare_call_name(call)
+        if bare == "derive_seed":
+            return SEED
+        if bare == "rng_for":
+            return RNG_OK
+        return OTHER
+
+    def _constructor_name(self, call: ast.Call) -> Optional[str]:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        canonical = self.analysis.project.symbols.canonical_from(self.module, dotted)
+        if canonical in RNG_CONSTRUCTORS:
+            return canonical
+        return None
+
+    @staticmethod
+    def _bare_call_name(call: ast.Call) -> Optional[str]:
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        return None
+
+
+class TaintAnalysis:
+    """Whole-program RNG-taint: summaries, construction sites, violations."""
+
+    def __init__(self, project: "ProjectContext") -> None:
+        self.project = project
+        #: Function qualname -> return taint.
+        self.summaries: Dict[str, str] = {}
+        #: Class qualname -> {attr name -> taint} from ``self.x = ...``.
+        self.attr_tables: Dict[str, Dict[str, str]] = {}
+        self.construction_sites: List[ConstructionSite] = []
+        self.violations: Dict[str, List[Violation]] = {
+            "DHS801": [],
+            "DHS802": [],
+            "DHS803": [],
+        }
+        self._recording = False
+        self._seen_constructions: Set[int] = set()
+        self._run()
+
+    # ------------------------------------------------------------------
+    def module_path(self, module: str) -> str:
+        info = self.project.symbols.modules.get(module)
+        return str(info.ctx.path) if info is not None else module
+
+    def record_construction(self, site: ConstructionSite) -> None:
+        if not self._recording or id(site.node) in self._seen_constructions:
+            return
+        if self._exempt(site.module):
+            return
+        self._seen_constructions.add(id(site.node))
+        self.construction_sites.append(site)
+
+    def _exempt(self, module: Optional[str]) -> bool:
+        return module_in(module, self.project.config.determinism_exempt)
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        symbols = self.project.symbols
+        config = self.project.config
+        resolvers = {
+            fn.qualname: CallResolver(symbols, config, fn)
+            for fn in symbols.functions.values()
+        }
+        # Exempt-module functions get convention-based summaries: the seed
+        # module's own internals are the trusted root of the contract.
+        pinned: Dict[str, str] = {}
+        for fn in symbols.functions.values():
+            if self._exempt(fn.module):
+                if is_rngish(fn.name):
+                    pinned[fn.qualname] = RNG_OK
+                elif is_seedish(fn.name):
+                    pinned[fn.qualname] = SEED
+                else:
+                    pinned[fn.qualname] = OTHER
+        self.summaries = dict(pinned)
+        for _ in range(8):  # fixpoint: summaries grow monotonically in practice
+            changed = False
+            self._rebuild_attr_tables(resolvers)
+            for fn in symbols.functions.values():
+                if fn.qualname in pinned:
+                    continue
+                summary = self._return_summary(fn, resolvers[fn.qualname])
+                if self.summaries.get(fn.qualname) != summary:
+                    self.summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        # Emission sweep (construction sites recorded only now).
+        self._recording = True
+        self._rebuild_attr_tables(resolvers)
+        for fn in symbols.functions.values():
+            if not self._exempt(fn.module):
+                self._emit_for_function(fn, resolvers[fn.qualname])
+        for module_name, info in symbols.modules.items():
+            if not self._exempt(module_name):
+                self._emit_for_module_body(module_name, info.ctx.tree)
+        for site in self.construction_sites:
+            self.violations["DHS801"].append(self._construction_violation(site))
+
+    def _evaluator(self, fn: FunctionInfo, resolver: CallResolver) -> _Evaluator:
+        evaluator = _Evaluator(self, fn.module, fn, resolver)
+        evaluator.bind_assignments(fn.node.body)
+        return evaluator
+
+    def _rebuild_attr_tables(self, resolvers: Dict[str, CallResolver]) -> None:
+        for cls in self.project.symbols.classes.values():
+            table: Dict[str, str] = {}
+            for method in cls.methods.values():
+                receiver = method.receiver_name()
+                if receiver is None:
+                    continue
+                evaluator = _Evaluator(
+                    self, method.module, method, resolvers[method.qualname]
+                )
+                for node in ast.walk(method.node):
+                    targets: List[ast.expr] = []
+                    value: Optional[ast.expr] = None
+                    if isinstance(node, ast.Assign):
+                        targets, value = node.targets, node.value
+                    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                        targets, value = [node.target], node.value
+                    if value is None:
+                        continue
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == receiver
+                        ):
+                            taint = evaluator.eval(value)
+                            previous = table.get(target.attr)
+                            table[target.attr] = (
+                                taint if previous is None else join(previous, taint)
+                            )
+            self.attr_tables[cls.qualname] = table
+
+    def _return_summary(self, fn: FunctionInfo, resolver: CallResolver) -> str:
+        evaluator = self._evaluator(fn, resolver)
+        summary: Optional[str] = None
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                taint = evaluator.eval(node.value)
+                summary = taint if summary is None else join(summary, taint)
+        return summary if summary is not None else OTHER
+
+    # ------------------------------------------------------------------
+    def _construction_violation(self, site: ConstructionSite) -> Violation:
+        if site.constructor in NEVER_SEEDABLE:
+            detail = f"{site.constructor} is entropy-backed and can never be seeded"
+        elif site.seed_taint is None:
+            detail = (
+                f"{site.constructor}() called without a seed — ambient entropy "
+                "breaks trial reproducibility"
+            )
+        else:
+            detail = (
+                f"{site.constructor}(...) seed argument is not derived from the "
+                "experiment seed (expected derive_seed(...)/rng_for(...) or a "
+                "seed parameter)"
+            )
+        return Violation(
+            code="DHS801",
+            message=f"unseeded RNG construction: {detail}",
+            path=site.path,
+            line=site.node.lineno,
+            col=site.node.col_offset,
+        )
+
+    def _emit_for_module_body(self, module_name: str, tree: ast.Module) -> None:
+        """Module-level RNG constructions (``_RNG = random.Random()``)."""
+        evaluator = _Evaluator(self, module_name, None, None)
+        evaluator.bind_assignments(
+            [
+                stmt
+                for stmt in tree.body
+                if not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                )
+            ]
+        )
+
+    def _emit_for_function(self, fn: FunctionInfo, resolver: CallResolver) -> None:
+        evaluator = self._evaluator(fn, resolver)
+        path = self.module_path(fn.module)
+        flagged: Set[int] = set()
+        for call in iter_calls(fn.node):
+            # Force evaluation so constructions inside non-assignment
+            # expressions (e.g. ``use(random.Random())``) are recorded.
+            evaluator.eval_call(call)
+            callees = resolver.resolve_call(call)
+            if not callees:
+                continue
+            summary = self.summaries.get(callees[0].qualname, OTHER)
+            for callee in callees[1:]:
+                summary = join(summary, self.summaries.get(callee.qualname, OTHER))
+            if summary == RNG_BAD:
+                self.violations["DHS802"].append(
+                    Violation(
+                        code="DHS802",
+                        message=(
+                            f"call to {callees[0].qualname} returns an RNG that is "
+                            "not derived from the experiment seed"
+                        ),
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                    )
+                )
+            self._check_arguments(fn, path, call, callees, evaluator, flagged)
+
+    def _check_arguments(
+        self,
+        fn: FunctionInfo,
+        path: str,
+        call: ast.Call,
+        callees: List[FunctionInfo],
+        evaluator: _Evaluator,
+        flagged: Set[int],
+    ) -> None:
+        callee = callees[0]
+        params = _parameter_names(callee)
+        bound: List[Tuple[str, ast.expr]] = []
+        # Skip the ``self`` slot for bound-method and constructor calls.
+        offset = 1 if callee.receiver_name() is not None else 0
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            if index + offset < len(params):
+                bound.append((params[index + offset], arg))
+        for keyword in call.keywords:
+            if keyword.arg is not None:
+                bound.append((keyword.arg, keyword.value))
+        for param, arg in bound:
+            taint = evaluator.eval(arg)
+            if id(arg) in flagged:
+                continue
+            if is_rngish(param) and taint == RNG_BAD:
+                flagged.add(id(arg))
+                self.violations["DHS802"].append(
+                    Violation(
+                        code="DHS802",
+                        message=(
+                            f"unseeded RNG passed to parameter {param!r} of "
+                            f"{callee.qualname}"
+                        ),
+                        path=path,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                    )
+                )
+            elif is_rngish(param) and taint == SEED:
+                flagged.add(id(arg))
+                self.violations["DHS803"].append(
+                    Violation(
+                        code="DHS803",
+                        message=(
+                            f"seed value passed to RNG parameter {param!r} of "
+                            f"{callee.qualname} — construct via rng_for(...) first"
+                        ),
+                        path=path,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                    )
+                )
+            elif is_seedish(param) and taint in (RNG_OK, RNG_BAD):
+                flagged.add(id(arg))
+                self.violations["DHS803"].append(
+                    Violation(
+                        code="DHS803",
+                        message=(
+                            f"RNG object passed to seed parameter {param!r} of "
+                            f"{callee.qualname} — pass a derived seed instead"
+                        ),
+                        path=path,
+                        line=arg.lineno,
+                        col=arg.col_offset,
+                    )
+                )
+
+
+def _parameter_names(fn: FunctionInfo) -> List[str]:
+    args = fn.node.args
+    return [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+
+
+@register_project
+class RngConstructionRule(ProjectRule):
+    code = "DHS801"
+    name = "rng-unseeded-construction"
+    rationale = (
+        "Every RNG must be constructed from a value derived from the "
+        "experiment seed (rng_for/derive_seed or a seed parameter); ambient "
+        "entropy makes trials irreproducible."
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Violation]:
+        return project.taint().violations["DHS801"]
+
+
+@register_project
+class RngFlowRule(ProjectRule):
+    code = "DHS802"
+    name = "rng-taint-flow"
+    rationale = (
+        "An unseeded RNG crossing a call boundary (returned by a helper or "
+        "passed as an argument) silently poisons every downstream draw."
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Violation]:
+        return project.taint().violations["DHS802"]
+
+
+@register_project
+class SeedKindMismatchRule(ProjectRule):
+    code = "DHS803"
+    name = "seed-rng-kind-mismatch"
+    rationale = (
+        "Seeds and RNGs are different kinds: passing a raw seed where an RNG "
+        "is expected (or an RNG as a seed) indicates a broken derivation chain."
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Violation]:
+        return project.taint().violations["DHS803"]

@@ -4,19 +4,35 @@ A rule is a subclass of :class:`Rule` with a unique ``code`` (``DHS101``
 ...), registered via the :func:`register` decorator.  The runner parses
 each file once, hands every rule a :class:`FileContext`, and filters the
 returned :class:`Violation` stream through inline suppressions
-(``# dhslint: disable=DHS101,DHS301`` or ``# dhslint: disable=all`` on the
-offending line).
+(``# dhslint: disable=DHS101,DHS301`` or ``# dhslint: disable=all``).
+A suppression comment is anchored to the *full line span* of the
+statement it sits on, so a comment on the first line of a multi-line
+call (or on a decorator) also covers violations reported on the
+continuation lines.
+
+Whole-program (dataflow) rules subclass :class:`ProjectRule` instead and
+receive a ``ProjectContext`` — a symbol table and call graph built over
+every analyzed file at once (see :mod:`tools.analyze.dataflow`).
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Tuple, Type
 
 from tools.analyze.config import Config
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dataflow imports engine)
+    from tools.analyze.cache import AnalysisCache
+    from tools.analyze.dataflow.project import ProjectContext
+    from tools.analyze.waivers import WaiverSet
+
+#: Bumped whenever rule behaviour changes; invalidates `.dhslint_cache.json`.
+TOOL_VERSION = "2.0"
 
 _SUPPRESS_RE = re.compile(r"#\s*dhslint:\s*disable=([A-Za-z0-9,\s]+)")
 
@@ -57,9 +73,13 @@ class FileContext:
         parts = self.package_parts
         return bool(parts) and parts[0] == self.config.package
 
+    def is_package_init(self) -> bool:
+        """Whether this file is a package ``__init__.py``."""
+        return self.path.name == "__init__.py"
+
 
 class Rule:
-    """Base class for dhslint rules.
+    """Base class for dhslint per-file rules.
 
     Subclasses set ``code``/``name``/``rationale`` and implement
     :meth:`check`.  ``rationale`` doubles as documentation: it is surfaced
@@ -83,31 +103,118 @@ class Rule:
         )
 
 
-#: All registered rules, keyed by code.
+class ProjectRule:
+    """Base class for whole-program (dataflow) rules.
+
+    Unlike :class:`Rule`, a project rule sees every analyzed file at once
+    through a ``ProjectContext`` (symbol table + call graph).  The heavy
+    analyses run once per context and are memoized there; each rule class
+    filters the shared result stream down to its own code.
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+#: All registered per-file rules, keyed by code.
 REGISTRY: Dict[str, Type[Rule]] = {}
+
+#: All registered whole-program rules, keyed by code.
+PROJECT_REGISTRY: Dict[str, Type[ProjectRule]] = {}
 
 
 def register(rule_cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to :data:`REGISTRY` (codes are unique)."""
     if not rule_cls.code:
         raise ValueError(f"rule {rule_cls.__name__} has no code")
-    if rule_cls.code in REGISTRY:
+    if rule_cls.code in REGISTRY or rule_cls.code in PROJECT_REGISTRY:
         raise ValueError(f"duplicate rule code {rule_cls.code}")
     REGISTRY[rule_cls.code] = rule_cls
     return rule_cls
 
 
-def _suppressions(source: str) -> Dict[int, frozenset]:
-    """Map line number -> set of suppressed codes (or ``{"all"}``)."""
-    table: Dict[int, frozenset] = {}
+def register_project(rule_cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a rule to :data:`PROJECT_REGISTRY`."""
+    if not rule_cls.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule_cls.code in PROJECT_REGISTRY or rule_cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    PROJECT_REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+_HEADER_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """Line spans of every statement, decorators included.
+
+    Compound statements (defs, classes, loops, ...) contribute their
+    *header* only — a suppression on a decorator covers the ``def`` line
+    but not the whole body; simple statements contribute their full span
+    so a comment on the first line of a multi-line call also covers the
+    continuation lines.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            if isinstance(node, _HEADER_STMTS):
+                first_body_line = node.body[0].lineno if node.body else node.lineno
+                end = max(start, first_body_line - 1) if first_body_line > node.lineno else node.lineno
+            else:
+                end = getattr(node, "end_lineno", None) or node.lineno
+            spans.append((start, end))
+        elif isinstance(node, ast.ExceptHandler):
+            spans.append((node.lineno, node.lineno))
+    return spans
+
+
+def suppression_table(source: str, tree: Optional[ast.Module] = None) -> Dict[int, frozenset]:
+    """Map line number -> set of suppressed codes (or ``{"all"}``).
+
+    With a parsed ``tree``, each suppression comment is widened to the
+    full span of the (innermost) statement containing it.
+    """
+    comments: Dict[int, frozenset] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _SUPPRESS_RE.search(line)
         if match:
             codes = frozenset(
                 part.strip() for part in match.group(1).split(",") if part.strip()
             )
-            table[lineno] = codes
-    return table
+            comments[lineno] = codes
+    if tree is None or not comments:
+        return comments
+    spans = _statement_spans(tree)
+    table: Dict[int, set] = {line: set(codes) for line, codes in comments.items()}
+    for line, codes in comments.items():
+        containing = [s for s in spans if s[0] <= line <= s[1]]
+        if not containing:
+            continue
+        # Innermost: latest start, then tightest end.
+        start, end = max(containing, key=lambda s: (s[0], -s[1]))
+        for covered in range(start, end + 1):
+            table.setdefault(covered, set()).update(codes)
+    return {line: frozenset(codes) for line, codes in table.items()}
 
 
 def resolve_module(path: Path) -> Optional[str]:
@@ -137,6 +244,16 @@ class Report:
     suppressed: int = 0
     files: int = 0
     errors: List[str] = field(default_factory=list)
+    #: Violations matched (and silenced) by an active waiver.
+    waived: List[Violation] = field(default_factory=list)
+    #: Waiver-file problems (missing reason, expired entries still matching).
+    waiver_errors: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Wall-clock seconds for the whole run (set by :func:`analyze_paths`).
+    elapsed: float = 0.0
+    #: Summary statistics of the dataflow pass, when it ran.
+    dataflow: Optional[Dict[str, int]] = None
 
     @property
     def counts_by_code(self) -> Dict[str, int]:
@@ -146,10 +263,28 @@ class Report:
         return dict(sorted(counts.items()))
 
 
+def _run_file_rules(ctx: FileContext) -> Tuple[List[Violation], int]:
+    """Run every enabled per-file rule over one parsed file."""
+    suppress = suppression_table(ctx.source, ctx.tree)
+    kept: List[Violation] = []
+    suppressed = 0
+    for code, rule_cls in sorted(REGISTRY.items()):
+        if code in ctx.config.disable:
+            continue
+        for violation in rule_cls().check(ctx):
+            codes = suppress.get(violation.line, frozenset())
+            if "all" in codes or violation.code in codes:
+                suppressed += 1
+            else:
+                kept.append(violation)
+    kept.sort(key=lambda v: (v.line, v.col, v.code))
+    return kept, suppressed
+
+
 def analyze_file(
     path: Path, config: Config, module: Optional[str] = None
 ) -> Tuple[List[Violation], int]:
-    """Run every enabled rule over one file.
+    """Run every enabled per-file rule over one file.
 
     Returns ``(violations, suppressed_count)``.  ``module`` overrides the
     filesystem-derived dotted name (useful for fixtures).  Raises
@@ -164,20 +299,7 @@ def analyze_file(
         config=config,
         module=module if module is not None else resolve_module(path),
     )
-    suppress = _suppressions(source)
-    kept: List[Violation] = []
-    suppressed = 0
-    for code, rule_cls in sorted(REGISTRY.items()):
-        if code in config.disable:
-            continue
-        for violation in rule_cls().check(ctx):
-            codes = suppress.get(violation.line, frozenset())
-            if "all" in codes or violation.code in codes:
-                suppressed += 1
-            else:
-                kept.append(violation)
-    kept.sort(key=lambda v: (v.line, v.col, v.code))
-    return kept, suppressed
+    return _run_file_rules(ctx)
 
 
 def iter_python_files(paths: Iterable[Path], config: Config) -> Iterator[Path]:
@@ -191,16 +313,98 @@ def iter_python_files(paths: Iterable[Path], config: Config) -> Iterator[Path]:
             yield path
 
 
-def analyze_paths(paths: Iterable[Path], config: Config) -> Report:
-    """Analyze every Python file under ``paths`` and aggregate the results."""
+def analyze_paths(
+    paths: Iterable[Path],
+    config: Config,
+    *,
+    dataflow: bool = False,
+    cache: Optional["AnalysisCache"] = None,
+    waivers: Optional["WaiverSet"] = None,
+) -> Report:
+    """Analyze every Python file under ``paths`` and aggregate the results.
+
+    ``dataflow=True`` additionally builds a :class:`ProjectContext`
+    (symbol table + call graph over every file) and runs the registered
+    whole-program rules (DHS8xx).  ``cache`` reuses per-file rule results
+    for files whose content hash is unchanged; the dataflow pass itself
+    is never cached (it is whole-program by construction).  ``waivers``
+    moves matching violations into ``report.waived``.
+    """
+    started = time.perf_counter()
     report = Report()
+    contexts: List[FileContext] = []
     for file_path in iter_python_files(paths, config):
         report.files += 1
         try:
-            violations, suppressed = analyze_file(file_path, config)
-        except SyntaxError as exc:
-            report.errors.append(f"{file_path}: syntax error: {exc.msg} (line {exc.lineno})")
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            report.errors.append(f"{file_path}: {exc}")
             continue
-        report.violations.extend(violations)
-        report.suppressed += suppressed
+        cached = cache.lookup(file_path, source) if cache is not None else None
+        ctx: Optional[FileContext] = None
+        if dataflow or cached is None:
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as exc:
+                report.errors.append(
+                    f"{file_path}: syntax error: {exc.msg} (line {exc.lineno})"
+                )
+                continue
+            ctx = FileContext(
+                path=file_path,
+                source=source,
+                tree=tree,
+                config=config,
+                module=resolve_module(file_path),
+            )
+            contexts.append(ctx)
+        if cached is not None:
+            report.cache_hits += 1
+            report.violations.extend(cached[0])
+            report.suppressed += cached[1]
+        else:
+            assert ctx is not None
+            violations, suppressed = _run_file_rules(ctx)
+            if cache is not None:
+                report.cache_misses += 1
+                cache.store(file_path, source, violations, suppressed)
+            report.violations.extend(violations)
+            report.suppressed += suppressed
+    if dataflow:
+        _run_project_rules(contexts, config, report)
+    if waivers is not None:
+        kept: List[Violation] = []
+        for violation in report.violations:
+            if waivers.matches(violation):
+                report.waived.append(violation)
+            else:
+                kept.append(violation)
+        report.violations = kept
+        report.waiver_errors.extend(waivers.problems)
+    if cache is not None:
+        cache.flush()
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    report.elapsed = time.perf_counter() - started
     return report
+
+
+def _run_project_rules(
+    contexts: List[FileContext], config: Config, report: Report
+) -> None:
+    """Build the project context and run every enabled whole-program rule."""
+    from tools.analyze.dataflow import build_project  # lazy: registers rules
+
+    project = build_project(contexts, config)
+    tables = {
+        str(ctx.path): suppression_table(ctx.source, ctx.tree) for ctx in contexts
+    }
+    for code, rule_cls in sorted(PROJECT_REGISTRY.items()):
+        if code in config.disable:
+            continue
+        for violation in rule_cls().check_project(project):
+            codes = tables.get(violation.path, {}).get(violation.line, frozenset())
+            if "all" in codes or violation.code in codes:
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+    report.dataflow = project.stats()

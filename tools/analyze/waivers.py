@@ -1,0 +1,136 @@
+"""Per-code waiver file for dataflow findings.
+
+A waiver acknowledges a known violation without silencing the rule
+globally: it matches one rule code against a path substring, *must*
+carry a justification, and *must* carry an expiry date so stale waivers
+resurface instead of rotting.  Format (one waiver per line, ``#``
+comments free-form)::
+
+    # Shared-memory refactor tracking issue #42:
+    DHS811  src/repro/core/registers.py  expires=2026-12-31  arrays are re-attached per worker, merge is sanctioned
+
+Fields are whitespace-separated: ``CODE  PATH-SUBSTRING  expires=YYYY-MM-DD
+REASON...``; an optional ``line=N`` field pins the waiver to one line.
+Expired entries are reported as waiver errors and no longer waive.
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from tools.analyze.engine import Violation
+
+__all__ = ["Waiver", "WaiverSet", "load_waivers"]
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One acknowledged violation: code + path substring + expiry + reason."""
+
+    code: str
+    path_substring: str
+    expires: datetime.date
+    reason: str
+    line: Optional[int] = None
+    source_line: int = 0
+
+    def covers(self, violation: Violation) -> bool:
+        if violation.code != self.code:
+            return False
+        if self.path_substring not in violation.path:
+            return False
+        if self.line is not None and violation.line != self.line:
+            return False
+        return True
+
+
+@dataclass
+class WaiverSet:
+    """Parsed waiver file plus the problems found while parsing/applying."""
+
+    waivers: List[Waiver] = field(default_factory=list)
+    problems: List[str] = field(default_factory=list)
+    today: datetime.date = field(default_factory=datetime.date.today)
+
+    def matches(self, violation: Violation) -> bool:
+        """Whether an *active* (unexpired) waiver covers ``violation``."""
+        for waiver in self.waivers:
+            if not waiver.covers(violation):
+                continue
+            if waiver.expires < self.today:
+                self.problems.append(
+                    f"expired waiver (line {waiver.source_line}) still matches "
+                    f"{violation.code} at {violation.path}:{violation.line} — "
+                    f"expired {waiver.expires.isoformat()}; fix or re-justify"
+                )
+                continue
+            return True
+        return False
+
+
+def load_waivers(path: Path, today: Optional[datetime.date] = None) -> WaiverSet:
+    """Parse a waiver file; malformed lines become ``problems``, not waivers."""
+    waiver_set = WaiverSet()
+    if today is not None:
+        waiver_set.today = today
+    if not path.is_file():
+        return waiver_set
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            waiver_set.problems.append(
+                f"{path}:{lineno}: waiver needs CODE PATH expires=DATE REASON"
+            )
+            continue
+        code, path_substring = parts[0], parts[1]
+        expires: Optional[datetime.date] = None
+        pinned_line: Optional[int] = None
+        reason_parts: List[str] = []
+        for part in parts[2:]:
+            if part.startswith("expires="):
+                value = part[len("expires="):]
+                if not _DATE_RE.match(value):
+                    waiver_set.problems.append(
+                        f"{path}:{lineno}: bad expires date {value!r} (YYYY-MM-DD)"
+                    )
+                    break
+                expires = datetime.date.fromisoformat(value)
+            elif part.startswith("line=") and not reason_parts:
+                try:
+                    pinned_line = int(part[len("line="):])
+                except ValueError:
+                    waiver_set.problems.append(f"{path}:{lineno}: bad line= field")
+                    break
+            else:
+                reason_parts.append(part)
+        else:
+            if expires is None:
+                waiver_set.problems.append(
+                    f"{path}:{lineno}: waiver for {code} has no expires=YYYY-MM-DD"
+                )
+                continue
+            if not reason_parts:
+                waiver_set.problems.append(
+                    f"{path}:{lineno}: waiver for {code} has no justification"
+                )
+                continue
+            waiver_set.waivers.append(
+                Waiver(
+                    code=code,
+                    path_substring=path_substring,
+                    expires=expires,
+                    reason=" ".join(reason_parts),
+                    line=pinned_line,
+                    source_line=lineno,
+                )
+            )
+    return waiver_set

@@ -221,7 +221,7 @@ def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
     from tools.analyze import analyze_paths, load_config
 
     config = load_config(source_dir)
-    report = analyze_paths([source_dir], config)
+    report = analyze_paths([source_dir], config, dataflow=True)
     try:
         shown = source_dir.resolve().relative_to(_REPO_ROOT)
     except ValueError:
@@ -229,9 +229,10 @@ def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
     lines = [
         "## static_analysis",
         "",
-        f"`python -m tools.analyze {shown}` — "
+        f"`python -m tools.analyze --dataflow {shown}` — "
         f"{len(report.violations)} violation(s), {report.suppressed} "
-        f"suppression(s), {report.files} file(s) checked.",
+        f"suppression(s), {len(report.waived)} waived, {report.files} "
+        f"file(s) checked in {report.elapsed:.2f}s.",
         "",
     ]
     if report.counts_by_code:
@@ -242,6 +243,16 @@ def dhslint_summary(source_dir: pathlib.Path) -> list[str]:
         lines.append("")
         for violation in report.violations:
             lines.append(f"- `{violation.render()}`")
+        lines.append("")
+    if report.dataflow:
+        lines.append(
+            "Whole-program dataflow (RNG-taint, worker shared-state, purity):"
+        )
+        lines.append("")
+        lines.append("| dataflow metric | value |")
+        lines.append("|---|---|")
+        for key, value in sorted(report.dataflow.items()):
+            lines.append(f"| {key.replace('_', ' ')} | {value} |")
         lines.append("")
     return lines
 
