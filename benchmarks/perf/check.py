@@ -19,12 +19,23 @@ worker count reproduces the serial rows bit for bit).  A false flag in
 the *current* run fails the check outright — that is a correctness bug,
 not a performance regression, so no tolerance factor applies.
 
+``count_regstore/*`` entries carry ``speedup_vs_packed`` — the array
+backend's count throughput relative to the ``store="packed"`` reference
+backend measured in the same process.  A value below 1.0 means the
+contiguous register-array layout lost to the layout it replaced; that is
+a hard failure with no tolerance factor (same-process A/B, machine
+differences cancel).
+
 ``count_traced/*`` and ``insert_traced/*`` entries carry
 ``overhead_vs_disabled_pct`` — the in-process cost of running the same
 workload with spans + metrics enabled.  Any entry above
-``--max-traced-overhead`` (default 25%) fails the check; this number is
+``--max-traced-overhead`` (default 40%) fails the check; this number is
 machine-independent (both modes run in the same process), so no
-regression factor applies to it either.
+regression factor applies to it either.  The budget covers more than
+instrumentation: enabling tracing also disqualifies the count fast path
+(`Counter._fast` requires observability off), so the traced count pays
+the reference-path delta on top of the span/metric cost — ~30% on the
+headline workload, against which 40% leaves regression headroom.
 """
 
 from __future__ import annotations
@@ -41,7 +52,7 @@ def main(argv: List[str]) -> int:
     parser.add_argument("--baseline", type=pathlib.Path, required=True)
     parser.add_argument("--current", type=pathlib.Path, required=True)
     parser.add_argument("--max-regression", type=float, default=3.0)
-    parser.add_argument("--max-traced-overhead", type=float, default=25.0)
+    parser.add_argument("--max-traced-overhead", type=float, default=40.0)
     args = parser.parse_args(argv)
 
     baseline = json.loads(args.baseline.read_text())["benchmarks"]
@@ -61,6 +72,20 @@ def main(argv: List[str]) -> int:
             "perf-check: parallel runs diverged from serial results: "
             + ", ".join(diverged)
         )
+        return 1
+
+    slower_than_packed = [
+        (name, entry["speedup_vs_packed"])
+        for name, entry in sorted(current.items())
+        if entry.get("speedup_vs_packed") is not None
+        and entry["speedup_vs_packed"] < 1.0
+    ]
+    if slower_than_packed:
+        for name, speedup in slower_than_packed:
+            print(
+                f"perf-check: {name} array backend is slower than the packed "
+                f"reference ({speedup:.2f}x)"
+            )
         return 1
 
     over_budget = [

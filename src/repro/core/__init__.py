@@ -7,6 +7,7 @@ from repro.core.insert import Inserter
 from repro.core.maintenance import refresh, stabilize, sweep_expired
 from repro.core.mapping import BitIntervalMap
 from repro.core.policy import DEFAULT_POLICY, RetryPolicy
+from repro.core.regstore import RegArena, RegSlot, tree_merge
 from repro.core.retries import (
     lim_for_interval,
     lim_with_bitmaps,
@@ -24,6 +25,7 @@ from repro.core.tuples import (
     vectors_at,
     vectors_mask,
     write_entry,
+    write_entry_mask,
 )
 
 __all__ = [
@@ -39,6 +41,9 @@ __all__ = [
     "BitIntervalMap",
     "DEFAULT_POLICY",
     "RetryPolicy",
+    "RegArena",
+    "RegSlot",
+    "tree_merge",
     "lim_for_interval",
     "lim_with_bitmaps",
     "lim_with_replication",
@@ -53,4 +58,5 @@ __all__ = [
     "vectors_at",
     "vectors_mask",
     "write_entry",
+    "write_entry_mask",
 ]

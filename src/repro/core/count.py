@@ -31,7 +31,17 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
@@ -42,12 +52,15 @@ from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
 from repro.obs import runtime as obs
 from repro.obs.metrics import BUCKETS_BITS, BUCKETS_PROBES, Histogram
-from repro.overlay.dht import DHTProtocol
+from repro.overlay.dht import DHTProtocol, LookupResult
 from repro.overlay.node import Node
 from repro.overlay.replication import replica_chain
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
 from repro.sketches.base import HashSketch
+
+if TYPE_CHECKING:  # annotation only — the facade constructs the arena
+    from repro.core.regstore import RegArena
 
 __all__ = ["Counter", "CountResult"]
 
@@ -107,12 +120,18 @@ class Counter:
         hash_family: HashFamily,
         seed: int = 0,
         policy: RetryPolicy = DEFAULT_POLICY,
+        arena: Optional["RegArena"] = None,
     ) -> None:
         self.dht = dht
         self.config = config
         self.mapping = mapping
         self.hash_family = hash_family
         self.policy = policy
+        #: Register arena of the array store backend (``None`` = packed).
+        self.arena = arena
+        #: Per-scan flag: the current scan may use the inlined
+        #: direct-store probe walk (see :meth:`_run_scan`).
+        self._fast = False
         self._rng = rng_for(seed, "dhs-count")
         # Per-count cached histogram objects (refreshed from the active
         # registry at each metered count; see _count_many_impl) so the
@@ -224,6 +243,22 @@ class Counter:
         sketches = {
             metric: self.config.make_sketch(self.hash_family) for metric in metric_ids
         }
+        # The array backend's inlined probe walk: sound only when every
+        # wrapper it skips is provably a no-op — a no-retry policy means
+        # ``policy.call`` is a plain call, no fault layer means lookups
+        # cannot drop messages and ``node_responsive`` is ``is_alive``,
+        # read repair off means probes never write, and tracing/metering
+        # off means no spans or counters would be emitted.  Costs,
+        # RNG draws and results are identical either way (the
+        # equivalence suite pins this against the reference walk).
+        self._fast = (
+            self.arena is not None
+            and self.policy.is_default
+            and self.dht.fault_layer is None
+            and not (self.config.read_repair and self.config.replication > 0)
+            and not obs.TRACING
+            and not obs.METERING
+        )
         adaptive = self.config.lim_policy == "eq6" and not force_fixed
         prior = expected_items if adaptive else None
         # One probe key per interval, drawn up front: a single pass over
@@ -420,23 +455,18 @@ class Counter:
         if key is None:
             key = self.mapping.random_key_in_interval(index, self._rng)
         cost = result.cost
-        try:
-            lookup = self.policy.call(
-                lambda: self.dht.lookup(key, origin=origin), self._rng, cost
+        fast = self._fast
+        if fast:
+            # No fault layer and a no-retry policy: the lookup cannot
+            # drop, and ``policy.call`` would be a plain call.
+            lookup = self.dht.lookup(key, origin=origin)
+        else:
+            lookup = self._lookup_interval(
+                key, origin, index, position, metrics, needed, found, result,
+                expected_items, now, event,
             )
-        except MessageDropped:
-            # The interval is unreachable this scan (every lookup attempt
-            # was dropped): zero probes happened, so confidence in every
-            # still-pending metric takes the full zero-probe eq. 5 hit.
-            if event is not None:
-                event("count.unreachable", tick=now, index=index)
-            self._charge_exhaustion(
-                index, position, metrics, needed, found, result,
-                expected_items, probes_done=0,
-            )
-            if obs.METERING:
-                self._record_interval_metrics(probes_done=0, bits=0)
-            return found
+            if lookup is None:
+                return found
         size_model = config.size_model
         num_metrics = len(metrics)
         cost.add(lookup.cost)
@@ -471,7 +501,28 @@ class Counter:
             result.probed_ids.add(target)
             if trace:
                 result.probed_nodes.append(target)
-            if self.dht.node_responsive(target):
+            if fast:
+                # Inlined probe: same semantics as the reference branch
+                # below with every provably-no-op wrapper peeled away —
+                # ``policy.call`` (no-retry policy), ``dht.probe``'s
+                # callback indirection, and the per-metric dict build.
+                node = self.dht.live_node(target)
+                if node is not None:
+                    self.dht.load.record(target)
+                    store = node.store
+                    returned = 0
+                    for metric in metrics:
+                        slot = store.get((metric, position))
+                        if isinstance(slot, PackedSlot):
+                            mask = slot.live_mask(now)
+                            if mask:
+                                returned += mask.bit_count()
+                                found[metric] |= mask
+                    cost.bytes += returned * size_model.tuple_bytes
+                else:
+                    cost.timeouts += 1
+                    self.dht.timeout_repair(target)
+            elif self.dht.node_responsive(target):
                 masks = self._probe_node(target, metrics, position, now, cost)
                 if masks is not None:
                     returned = 0
@@ -559,6 +610,42 @@ class Counter:
             hist.count += 1
         return found
 
+    def _lookup_interval(
+        self,
+        key: int,
+        origin: int,
+        index: int,
+        position: int,
+        metrics: List[Hashable],
+        needed: Dict[Hashable, int],
+        found: Dict[Hashable, int],
+        result: CountResult,
+        expected_items: Optional[float],
+        now: int,
+        event: Optional[Callable[..., Any]],
+    ) -> Optional[LookupResult]:
+        """Route to the interval under the retry policy.
+
+        Returns ``None`` when every lookup attempt was dropped — the
+        interval is unreachable this scan: zero probes happened, so
+        confidence in every still-pending metric takes the full
+        zero-probe eq. 5 hit (already charged here).
+        """
+        try:
+            return self.policy.call(
+                lambda: self.dht.lookup(key, origin=origin), self._rng, result.cost
+            )
+        except MessageDropped:
+            if event is not None:
+                event("count.unreachable", tick=now, index=index)
+            self._charge_exhaustion(
+                index, position, metrics, needed, found, result,
+                expected_items, probes_done=0,
+            )
+            if obs.METERING:
+                self._record_interval_metrics(probes_done=0, bits=0)
+            return None
+
     def _record_interval_metrics(self, probes_done: int, bits: int) -> None:
         """Record one interval's probe/bit observations (cold paths only;
         the normal exit of :meth:`_probe_interval_impl` inlines this)."""
@@ -636,7 +723,9 @@ class Counter:
                     if isinstance(slot, PackedSlot) and not (slot.mask >> vector) & 1:
                         raw = (slot.expiring or {}).get(vector)
                         expiry = int(raw) if raw is not None else None
-                    write_entry(replica, metric, vector, position, expiry)
+                    write_entry(
+                        replica, metric, vector, position, expiry, arena=self.arena
+                    )
                     wrote += 1
             if wrote:
                 cost.hops += 1

@@ -27,6 +27,7 @@ from repro.core.insert import Inserter
 from repro.core.mapping import BitIntervalMap
 from repro.core.maintenance import refresh, stabilize, sweep_expired
 from repro.core.policy import DEFAULT_POLICY, RetryPolicy
+from repro.core.regstore import RegArena
 from repro.core.tuples import merge_store_values, storage_entries
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.stats import OpCost
@@ -67,13 +68,21 @@ class DistributedHashSketch:
         self.dht = dht
         self.config = config or DHSConfig()
         self.policy = policy
+        self.seed = seed
         self.mapping = BitIntervalMap(dht.space, self.config)
         self.hash_family = self.config.hash_family(dht.space.bits)
+        #: Register arena of the ``store="array"`` backend; ``None``
+        #: selects the per-object ``PackedSlot`` reference backend.
+        self.arena: Optional[RegArena] = (
+            RegArena(self.config.num_bitmaps) if self.config.store == "array" else None
+        )
         self._inserter = Inserter(
-            dht, self.config, self.mapping, self.hash_family, seed, policy=policy
+            dht, self.config, self.mapping, self.hash_family, seed,
+            policy=policy, arena=self.arena,
         )
         self._counter = Counter(
-            dht, self.config, self.mapping, self.hash_family, seed, policy=policy
+            dht, self.config, self.mapping, self.hash_family, seed,
+            policy=policy, arena=self.arena,
         )
         dht.store_merge = merge_store_values
 
@@ -200,6 +209,55 @@ class DistributedHashSketch:
         result = self.count_many([metric_a, metric_b], origin=origin, now=now)
         return estimate_intersection(
             result.sketches[metric_a], result.sketches[metric_b]
+        )
+
+    # ------------------------------------------------------------------
+    # Zero-copy shared-memory parallelism (DHS_JOBS).
+    # ------------------------------------------------------------------
+    def share_arena(self) -> Optional[str]:
+        """Migrate the register arena into shared memory; returns its name.
+
+        Idempotent; ``None`` on the packed backend (nothing to share).
+        Forked workers attach the segment by name and read the same
+        physical pages — see :mod:`repro.core.shared`.
+        """
+        if self.arena is None:
+            return None
+        return self.arena.migrate_to_shared()
+
+    def count_parallel(
+        self,
+        metric_ids: Sequence[Hashable],
+        now: int = 0,
+        jobs: Optional[int] = None,
+    ) -> List[CountResult]:
+        """Count several metrics concurrently (one worker per chunk).
+
+        Results are bit-identical to counting the metrics one
+        :meth:`count` call at a time with per-metric derived seeds — at
+        any worker count, including the inline ``jobs=1`` path.  See
+        :func:`repro.core.shared.count_parallel`.
+        """
+        from repro.core.shared import count_parallel
+
+        return count_parallel(self, metric_ids, now=now, jobs=jobs)
+
+    def insert_array_parallel(
+        self,
+        metric_id: Hashable,
+        item_ids: "npt.NDArray[np.int64]",
+        origin: Optional[int] = None,
+        now: int = 0,
+        jobs: Optional[int] = None,
+    ) -> OpCost:
+        """Parallel :meth:`insert_array`: workers hash and pack chunk
+        deltas into shared-memory arenas, the parent tree-merges them
+        and performs the stores — bit-identical to the serial path.
+        See :func:`repro.core.shared.insert_array_parallel`."""
+        from repro.core.shared import insert_array_parallel
+
+        return insert_array_parallel(
+            self, metric_id, item_ids, origin=origin, now=now, jobs=jobs
         )
 
     # ------------------------------------------------------------------

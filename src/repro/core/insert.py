@@ -14,7 +14,7 @@ round, one per interval, instead of one per item.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 import numpy.typing as npt
@@ -22,7 +22,7 @@ import numpy.typing as npt
 from repro.core.config import DHSConfig
 from repro.core.mapping import BitIntervalMap
 from repro.core.policy import DEFAULT_POLICY, RetryPolicy
-from repro.core.tuples import write_entry
+from repro.core.tuples import write_entry, write_entry_mask
 from repro.errors import MessageDropped
 from repro.hashing.family import HashFamily
 from repro.hashing.vectorized import observations_np
@@ -33,6 +33,9 @@ from repro.overlay.replication import replicate_to_successors
 from repro.overlay.stats import OpCost
 from repro.sim.seeds import rng_for
 from repro.sketches.base import split_key
+
+if TYPE_CHECKING:  # annotation only — the facade constructs the arena
+    from repro.core.regstore import RegArena
 
 __all__ = ["Inserter"]
 
@@ -48,12 +51,15 @@ class Inserter:
         hash_family: HashFamily,
         seed: int = 0,
         policy: RetryPolicy = DEFAULT_POLICY,
+        arena: Optional["RegArena"] = None,
     ) -> None:
         self.dht = dht
         self.config = config
         self.mapping = mapping
         self.hash_family = hash_family
         self.policy = policy
+        #: Register arena backing fresh slots (``None`` = packed backend).
+        self.arena = arena
         self._rng = rng_for(seed, "dhs-insert")
 
     # ------------------------------------------------------------------
@@ -199,6 +205,8 @@ class Inserter:
             vectors = vectors[stored]
         if positions.size == 0:
             return OpCost()
+        if config.expiry(now) is None:
+            return self._insert_mask_arrays(metric_id, vectors, positions, origin, now)
         m = config.num_bitmaps
         # One integer per (position, vector) pair; np.unique both dedups
         # and sorts, and ascending position is ascending interval index —
@@ -218,6 +226,68 @@ class Inserter:
             ]
             total.add(self._write_tuples(index, tuples, origin=origin, now=now))
         return total
+
+    def _insert_mask_arrays(
+        self,
+        metric_id: Hashable,
+        vectors: npt.NDArray[np.int64],
+        positions: npt.NDArray[np.int64],
+        origin: Optional[int],
+        now: int,
+    ) -> OpCost:
+        """Immortal-write twin of :meth:`insert_observation_arrays`.
+
+        Dedups the observations with one boolean scatter (no sort),
+        packs each position's distinct vectors into register words with
+        ``np.packbits``, and stores one *bitmap* per non-empty interval
+        via :func:`repro.core.tuples.write_entry_mask` — on the array
+        backend the node-side fold is a single vectorized word-OR.
+        Same ascending-interval order, same per-interval random key
+        draws, and the payload still counts one tuple per distinct
+        ``(vector, position)`` pair, so costs and stored state are
+        identical to the per-tuple path.
+        """
+        m = self.config.num_bitmaps
+        n_pos = self.config.position_bits
+        # Boolean presence grid over (position, vector): duplicate
+        # observations collapse for free, no O(n log n) sort needed.
+        grid = np.zeros(n_pos * m, dtype=bool)
+        grid[positions * m + vectors] = True
+        grid = grid.reshape(n_pos, m)
+        packed = np.packbits(grid, axis=1, bitorder="little")
+        words = (m + 63) // 64
+        rows8 = np.zeros((n_pos, words * 8), dtype=np.uint8)
+        rows8[:, : packed.shape[1]] = packed
+        rows = rows8.view(np.uint64)
+        pos_seen = np.zeros(n_pos, dtype=bool)
+        pos_seen[positions] = True
+        total = OpCost()
+        for position in np.flatnonzero(pos_seen).tolist():
+            index = self.mapping.interval_index(position)
+            delta = rows[position]
+            mask = int.from_bytes(delta.tobytes(), "little")
+            total.add(
+                self._store_mask(index, metric_id, position, mask, delta, origin, now)
+            )
+        return total
+
+    def _store_mask(
+        self,
+        index: int,
+        metric_id: Hashable,
+        position: int,
+        mask: int,
+        delta: npt.NDArray[np.uint64],
+        origin: Optional[int],
+        now: int,
+    ) -> OpCost:
+        """Store one interval's deduplicated vector bitmap."""
+        arena = self.arena
+
+        def write(node: Node) -> None:
+            write_entry_mask(node, metric_id, position, mask, delta=delta, arena=arena)
+
+        return self._store_write(index, write, mask.bit_count(), origin, now)
 
     def insert_observations(
         self,
@@ -251,16 +321,33 @@ class Inserter:
         origin: Optional[int],
         now: int,
     ) -> OpCost:
+        expiry = self.config.expiry(now)
+        arena = self.arena
+
+        def write(node: Node) -> None:
+            for metric_id, vector, position in tuples:
+                write_entry(node, metric_id, vector, position, expiry, arena=arena)
+
+        return self._store_write(index, write, len(tuples), origin, now)
+
+    def _store_write(
+        self,
+        index: int,
+        write: Callable[[Node], None],
+        count: int,
+        origin: Optional[int],
+        now: int,
+    ) -> OpCost:
         if not obs.TRACING and not obs.METERING:
-            return self._write_tuples_impl(index, tuples, origin, now)
+            return self._store_write_impl(index, write, count, origin, now)
         if not obs.TRACING:
-            cost = self._write_tuples_impl(index, tuples, origin, now)
-            self._meter_store(tuples, cost)
+            cost = self._store_write_impl(index, write, count, origin, now)
+            self._meter_store(count, cost)
             return cost
         with obs.TRACER.span(
-            "insert.store", tick=now, interval=index, tuples=len(tuples)
+            "insert.store", tick=now, interval=index, tuples=count
         ) as span:
-            cost = self._write_tuples_impl(index, tuples, origin, now)
+            cost = self._store_write_impl(index, write, count, origin, now)
             span.set(
                 hops=cost.hops,
                 messages=cost.messages,
@@ -268,28 +355,23 @@ class Inserter:
                 timeouts=cost.timeouts,
             )
         if obs.METERING:
-            self._meter_store(tuples, cost)
+            self._meter_store(count, cost)
         return cost
 
-    def _meter_store(self, tuples: List[Tuple[Hashable, int, int]], cost: OpCost) -> None:
+    def _meter_store(self, count: int, cost: OpCost) -> None:
         obs.METRICS.inc("dhs.insert.stores")
-        obs.METRICS.inc("dhs.insert.tuples", len(tuples))
+        obs.METRICS.inc("dhs.insert.tuples", count)
         obs.METRICS.observe("dhs.insert.store_hops", cost.hops)
 
-    def _write_tuples_impl(
+    def _store_write_impl(
         self,
         index: int,
-        tuples: List[Tuple[Hashable, int, int]],
+        write: Callable[[Node], None],
+        count: int,
         origin: Optional[int],
         now: int,
     ) -> OpCost:
         key = self.mapping.random_key_in_interval(index, self._rng)
-        expiry = self.config.expiry(now)
-
-        def write(node: Node) -> None:
-            for metric_id, vector, position in tuples:
-                write_entry(node, metric_id, vector, position, expiry)
-
         loss_cost = OpCost()
         try:
             storing_node, cost = self.policy.call(
@@ -297,7 +379,7 @@ class Inserter:
                     key,
                     write,
                     origin=origin,
-                    payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
+                    payload_bytes=count * self.config.size_model.tuple_bytes,
                 ),
                 self._rng,
                 loss_cost,
@@ -320,7 +402,7 @@ class Inserter:
                 storing_node,
                 write,
                 degree=self.config.replication,
-                payload_bytes=len(tuples) * self.config.size_model.tuple_bytes,
+                payload_bytes=count * self.config.size_model.tuple_bytes,
             )
             if extra is not None:
                 cost.add(extra)

@@ -146,7 +146,12 @@ def _handoff_to_interval(
             )
             missing = live & ~have
             for vector in bits_of(missing):
-                write_entry(pred_node, metric, vector, bit, _entry_expiry(slot, vector))
+                # Copies inherit the source slot's backend: a RegSlot
+                # source hands its arena along, a PackedSlot passes None.
+                write_entry(
+                    pred_node, metric, vector, bit, _entry_expiry(slot, vector),
+                    arena=getattr(slot, "arena", None),
+                )
                 wrote += 1
         if wrote:
             cost.hops += 1
@@ -228,7 +233,10 @@ def stabilize(
                 )
                 missing = primary & ~have
                 for vector in bits_of(missing):
-                    write_entry(replica, metric, vector, bit, _entry_expiry(slot, vector))
+                    write_entry(
+                        replica, metric, vector, bit, _entry_expiry(slot, vector),
+                        arena=getattr(slot, "arena", None),
+                    )
                     wrote += 1
             if wrote:
                 cost.hops += 1

@@ -1,0 +1,287 @@
+"""Zero-copy shared-memory parallel counting and insertion (``DHS_JOBS``).
+
+The ``store="array"`` backend keeps every node's immortal bitmap in one
+contiguous :class:`~repro.core.regstore.RegArena` — which makes whole-
+deployment parallelism a memory-layout question instead of a
+serialization one:
+
+* **Counting** (:func:`count_parallel`): the parent migrates the arena
+  into ``multiprocessing.shared_memory`` (:meth:`RegArena
+  .migrate_to_shared` — existing slots keep working, they index the
+  arena, not the buffer) and forks workers via
+  :func:`repro.sim.parallel.fork_map`.  Each worker counts a slice of
+  the requested metrics against the *same physical register pages* —
+  nothing is pickled or copied — using a fresh
+  :class:`~repro.core.count.Counter` whose RNG is derived per metric
+  (``derive_seed(seed, "parallel-count", i)``), so every metric's probe
+  walk is a pure function of ``(deployment, metric index)`` and the
+  results are bit-identical to the inline ``jobs=1`` loop at any worker
+  count.
+* **Insertion** (:func:`insert_array_parallel`): workers hash contiguous
+  item chunks and OR their deduplicated ``(position, vector)`` presence
+  bits into per-worker shared *delta* arenas (sketchnu's
+  ``parallel_add`` pattern); the parent folds the deltas with
+  :func:`~repro.core.regstore.tree_merge` — bitwise OR is commutative
+  and associative, so the union is independent of the chunking — and
+  then performs the per-interval DHT stores serially with the main
+  inserter's RNG.  Same random key draws, same payload accounting, same
+  stored state as :meth:`~repro.core.dhs.DistributedHashSketch
+  .insert_array`, byte for byte.
+
+Side-effect caveat: a *parallel* count's load-tracker increments and
+lazy-failure evictions happen in forked copies of the overlay and are
+discarded with the workers, whereas the inline path mutates the caller's
+overlay.  On fault-free rings (no lazily-failed members) the returned
+:class:`~repro.core.count.CountResult`s are identical either way — the
+golden-identity and ``DHS_JOBS=4`` equivalence tests pin exactly that.
+
+Worker context travels by **fork inheritance**: module-level globals set
+immediately before :func:`fork_map` (closures cannot pickle; globals
+ride the fork for free).  This module deliberately imports neither
+``multiprocessing`` (DHS501 — pools live in :mod:`repro.sim.parallel`)
+nor ``shared_memory`` (DHS901 — segments live in
+:mod:`repro.core.regstore`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.count import Counter, CountResult
+from repro.core.regstore import RegArena, tree_merge
+from repro.hashing.vectorized import observations_np
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry, Snapshot
+from repro.overlay.stats import OpCost
+from repro.sim.parallel import env_jobs, fork_map
+from repro.sim.seeds import derive_seed
+
+if TYPE_CHECKING:
+    from repro.core.dhs import DistributedHashSketch
+
+__all__ = ["count_parallel", "insert_array_parallel"]
+
+#: Below this many items the fork + segment setup costs more than the
+#: hashing it parallelizes; the serial path runs instead.
+_MIN_PARALLEL_ITEMS = 4096
+
+# ----------------------------------------------------------------------
+# Parallel counting.
+# ----------------------------------------------------------------------
+
+#: Fork-inherited context of the in-flight count (set just before the
+#: fork, cleared in the caller's ``finally``).
+_COUNT_CTX: Optional["_CountCtx"] = None
+
+
+@dataclass
+class _CountCtx:
+    dhs: "DistributedHashSketch"
+    metric_ids: Sequence[Hashable]
+    now: int
+    metered: bool
+
+
+def _count_one(index: int) -> Tuple[CountResult, Optional[Snapshot]]:
+    """Count metric ``index`` with a per-metric derived-seed Counter.
+
+    Module-level so it pickles by reference into pool workers; the heavy
+    context arrives via fork inheritance of ``_COUNT_CTX``.
+    """
+    ctx = _COUNT_CTX
+    assert ctx is not None, "_count_one outside count_parallel"
+    dhs = ctx.dhs
+    counter = Counter(
+        dhs.dht,
+        dhs.config,
+        dhs.mapping,
+        dhs.hash_family,
+        seed=derive_seed(dhs.seed, "parallel-count", index),
+        policy=dhs.policy,
+        arena=dhs.arena,
+    )
+    if not ctx.metered:
+        return counter.count(ctx.metric_ids[index], now=ctx.now), None
+    # Fresh per-metric registry, merged caller-side in metric order on
+    # serial and parallel paths alike — the run_trials capture pattern
+    # that keeps float counters identical at any worker count.
+    registry = MetricsRegistry()
+    with obs.observed(registry=registry, tracing=False):
+        result = counter.count(ctx.metric_ids[index], now=ctx.now)
+    return result, registry.snapshot()
+
+
+def count_parallel(
+    dhs: "DistributedHashSketch",
+    metric_ids: Sequence[Hashable],
+    now: int = 0,
+    jobs: Optional[int] = None,
+) -> List[CountResult]:
+    """Count every metric concurrently against the shared arena.
+
+    Returns one :class:`CountResult` per metric, in metric order.
+    ``jobs=None`` reads ``DHS_JOBS``; ``jobs <= 1`` (or a single metric)
+    runs the identical loop inline.
+    """
+    global _COUNT_CTX
+    if jobs is None:
+        jobs = env_jobs()
+    parallel = jobs > 1 and len(metric_ids) > 1
+    if parallel:
+        # Zero-copy precondition: workers must see the register pages,
+        # not copy-on-write duplicates of a private matrix.
+        dhs.share_arena()
+    _COUNT_CTX = _CountCtx(
+        dhs=dhs, metric_ids=list(metric_ids), now=now, metered=obs.METERING
+    )
+    try:
+        outputs = fork_map(_count_one, range(len(metric_ids)), jobs=jobs)
+    finally:
+        _COUNT_CTX = None
+    results: List[CountResult] = []
+    for result, snapshot in outputs:
+        if snapshot is not None:
+            obs.METRICS.merge_snapshot(snapshot)
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Parallel insertion.
+# ----------------------------------------------------------------------
+
+#: Fork-inherited context of the in-flight bulk insert.
+_INSERT_CTX: Optional["_InsertCtx"] = None
+
+#: Fault-injection hook for the shm leak test: a worker whose chunk
+#: index matches dies mid-trial (hard ``os._exit``, no cleanup) so tests
+#: can assert the parent still reclaims every shared segment.
+_CRASH_WORKER: Optional[int] = None
+
+
+@dataclass
+class _InsertCtx:
+    ids: npt.NDArray[np.int64]
+    m: int
+    key_bits: int
+    hash_seed: int
+    position_bits: int
+    bit_shift: int
+
+
+def _insert_delta_worker(task: Tuple[int, int, int, str]) -> bool:
+    """Hash one item chunk and OR its presence bits into a delta arena."""
+    index, lo, hi, segment = task
+    if _CRASH_WORKER is not None and _CRASH_WORKER == index:
+        os._exit(17)  # simulated mid-trial crash (leak test)
+    ctx = _INSERT_CTX
+    assert ctx is not None, "_insert_delta_worker outside insert_array_parallel"
+    arena = RegArena.attach(segment)
+    try:
+        vectors, positions = observations_np(
+            ctx.ids[lo:hi], ctx.m, ctx.key_bits, seed=ctx.hash_seed
+        )
+        positions = np.minimum(positions, ctx.position_bits - 1)
+        if ctx.bit_shift > 0:
+            stored = positions >= ctx.bit_shift
+            positions = positions[stored]
+            vectors = vectors[stored]
+        if positions.size:
+            grid = np.zeros(ctx.position_bits * ctx.m, dtype=bool)
+            grid[positions * ctx.m + vectors] = True
+            packed = np.packbits(
+                grid.reshape(ctx.position_bits, ctx.m), axis=1, bitorder="little"
+            )
+            words = (ctx.m + 63) // 64
+            rows8 = np.zeros((ctx.position_bits, words * 8), dtype=np.uint8)
+            rows8[:, : packed.shape[1]] = packed
+            np.bitwise_or(arena.data, rows8.view(np.uint64), out=arena.data)
+    finally:
+        arena.close()
+    return True
+
+
+def insert_array_parallel(
+    dhs: "DistributedHashSketch",
+    metric_id: Hashable,
+    item_ids: npt.NDArray[np.int64],
+    origin: Optional[int] = None,
+    now: int = 0,
+    jobs: Optional[int] = None,
+) -> OpCost:
+    """Parallel :meth:`~repro.core.dhs.DistributedHashSketch.insert_array`.
+
+    Falls back to the serial path whenever the parallel plan cannot be
+    bit-identical or cannot win: ``jobs <= 1``, small inputs, the packed
+    backend, a TTL'd deployment (expiries take the per-vector path), or
+    a hash family without a vectorized twin.
+    """
+    global _INSERT_CTX
+    if jobs is None:
+        jobs = env_jobs()
+    ids = np.ascontiguousarray(item_ids, dtype=np.int64)
+    config = dhs.config
+    if (
+        jobs <= 1
+        or ids.size < _MIN_PARALLEL_ITEMS
+        or dhs.arena is None
+        or config.hash_family_name != "mixer"
+        or config.expiry(now) is not None
+    ):
+        return dhs.insert_array(metric_id, ids, origin=origin, now=now)
+    chunks = min(jobs, ids.size)
+    bounds = [round(i * ids.size / chunks) for i in range(chunks + 1)]
+    n_pos = config.position_bits
+    deltas = [
+        RegArena(config.num_bitmaps, capacity=n_pos, shared=True)
+        for _ in range(chunks)
+    ]
+    _INSERT_CTX = _InsertCtx(
+        ids=ids,
+        m=config.num_bitmaps,
+        key_bits=config.key_bits,
+        hash_seed=config.hash_seed,
+        position_bits=n_pos,
+        bit_shift=config.bit_shift,
+    )
+    try:
+        tasks = [
+            (index, bounds[index], bounds[index + 1], deltas[index].shared_name or "")
+            for index in range(chunks)
+        ]
+        fork_map(_insert_delta_worker, tasks, jobs=jobs)
+        merged = tree_merge([delta.data for delta in deltas])
+        # Phase 2 — serial stores with the main inserter's RNG: one key
+        # draw per non-empty interval in ascending order, exactly the
+        # serial path's sequence, so the deployment RNG state and the
+        # returned OpCost match the serial call byte for byte.
+        inserter = dhs._inserter
+        total = OpCost()
+        for position in np.flatnonzero(merged.any(axis=1)).tolist():
+            delta = merged[position]
+            mask = int.from_bytes(delta.tobytes(), "little")
+            total.add(
+                inserter._store_mask(
+                    dhs.mapping.interval_index(position),
+                    metric_id,
+                    position,
+                    mask,
+                    delta,
+                    origin,
+                    now,
+                )
+            )
+        return total
+    finally:
+        _INSERT_CTX = None
+        # Always reclaim the delta segments — including when a worker
+        # crashed mid-trial and the pool raised: nothing may survive in
+        # /dev/shm past this call (the leak test kills a worker and
+        # checks).
+        for delta in deltas:
+            delta.unlink()

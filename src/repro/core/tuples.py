@@ -10,19 +10,43 @@ is then a single mask read (:func:`vectors_mask`) in the common
 never-expiring case, instead of a per-vector dict walk.  A node stores at
 most one entry per (metric, vector, bit): re-insertions only refresh the
 expiry, and an immortal entry dominates any TTL.
+
+Two storage backends share this slot interface
+(``DHSConfig(store=...)``):
+
+* ``"packed"`` — plain :class:`PackedSlot` objects, the reference
+  implementation;
+* ``"array"`` — :class:`~repro.core.regstore.RegSlot` subclasses whose
+  immortal bitmap lives in a contiguous
+  :class:`~repro.core.regstore.RegArena` row, enabling vectorized bulk
+  writes and zero-copy shared-memory parallelism.
+
+Every function here accepts either slot type; passing an ``arena``
+selects which one a fresh slot becomes.  Node stores also carry an
+incrementally-maintained entry count (``Node.app_entries``) so
+:func:`storage_entries` — hit once per node per load-balance snapshot —
+is O(1) instead of a full store scan; bulk merges mark the count stale
+and the next query rescans once.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, NamedTuple, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, NamedTuple, Optional
+
+import numpy as np
+import numpy.typing as npt
 
 from repro.overlay.node import Node, StoreValue
+
+if TYPE_CHECKING:  # imported for annotations only — no runtime cycle
+    from repro.core.regstore import RegArena
 
 __all__ = [
     "DHSTuple",
     "PackedSlot",
     "bits_of",
     "write_entry",
+    "write_entry_mask",
     "vectors_mask",
     "vectors_at",
     "merge_store_values",
@@ -51,23 +75,63 @@ class PackedSlot:
     TTL'd vectors as ``{vector_id: expiry}`` and is ``None`` until the
     first TTL write.  A vector lives in exactly one of the two — an
     immortal entry absorbs and dominates any finite expiry.
+
+    Two cached summaries of ``expiring`` keep :meth:`live_mask` off the
+    dict walk in the common case: ``_ttl_or`` (bitmap of TTL'd vectors,
+    possibly a stale superset whose extra bits are always in ``mask``)
+    and ``_ttl_min`` (a lower bound on the earliest expiry).  While
+    ``now <= _ttl_min`` every TTL'd entry is provably live, so the
+    result is just ``mask | _ttl_or``.
     """
 
-    __slots__ = ("mask", "expiring")
+    __slots__ = ("mask", "expiring", "_ttl_or", "_ttl_min")
 
     def __init__(
         self, mask: int = 0, expiring: Optional[Dict[int, float]] = None
     ) -> None:
         self.mask = mask
         self.expiring = expiring
+        self._recompute_ttl_cache()
+
+    def _recompute_ttl_cache(self) -> None:
+        """Rebuild the exact TTL summaries from ``expiring``."""
+        expiring = self.expiring
+        if expiring:
+            ttl_or = 0
+            for vector in expiring:
+                ttl_or |= 1 << vector
+            self._ttl_or = ttl_or
+            self._ttl_min = min(expiring.values())
+        else:
+            self._ttl_or = 0
+            self._ttl_min = _NEVER
+
+    def reset(self, mask: int, expiring: Optional[Dict[int, float]]) -> None:
+        """Replace the slot's contents wholesale (merge paths)."""
+        self.mask = mask
+        self.expiring = expiring if expiring else None
+        self._recompute_ttl_cache()
+
+    def or_mask(
+        self, add_mask: int, delta: Optional["npt.NDArray[np.uint64]"] = None
+    ) -> None:
+        """Fold a whole immortal bitmap in (``delta`` ignored here;
+        :class:`~repro.core.regstore.RegSlot` uses it for the row OR)."""
+        self.mask |= add_mask
 
     def live_mask(self, now: int) -> int:
         """Bitmap of vectors alive at time ``now`` (immortal + unexpired)."""
+        expiring = self.expiring
+        if not expiring:
+            return self.mask
+        if now <= self._ttl_min:
+            # Short-circuit: the earliest expiry is still in the future,
+            # so every TTL'd vector is live — no dict walk.
+            return self.mask | self._ttl_or
         mask = self.mask
-        if self.expiring:
-            for vector, expiry in self.expiring.items():
-                if expiry >= now:
-                    mask |= 1 << vector
+        for vector, expiry in expiring.items():
+            if expiry >= now:
+                mask |= 1 << vector
         return mask
 
     def entries(self) -> int:
@@ -102,27 +166,44 @@ def _live(expiry: float, now: int) -> bool:
     return expiry >= now
 
 
+def _slot_for(
+    node: Node, metric_id: Hashable, bit: int, arena: Optional["RegArena"]
+) -> PackedSlot:
+    """The slot for ``(metric_id, bit)``, created on the chosen backend."""
+    key = (metric_id, bit)
+    raw = node.store.get(key)
+    if isinstance(raw, PackedSlot):
+        return raw
+    slot = PackedSlot() if arena is None else arena.new_slot()
+    node.store[key] = slot
+    return slot
+
+
 def write_entry(
     node: Node,
     metric_id: Hashable,
     vector_id: int,
     bit: int,
     expiry: Optional[int],
+    arena: Optional["RegArena"] = None,
 ) -> None:
-    """Record (or refresh) one DHS entry at ``node``."""
-    key = (metric_id, bit)
-    raw = node.store.get(key)
-    if isinstance(raw, PackedSlot):
-        slot = raw
-    else:
-        slot = PackedSlot()
-        node.store[key] = slot
+    """Record (or refresh) one DHS entry at ``node``.
+
+    ``arena`` selects the storage backend for freshly-created slots
+    (``None`` = plain :class:`PackedSlot`); existing slots keep their
+    backend either way.
+    """
+    slot = _slot_for(node, metric_id, bit, arena)
     vector_bit = 1 << vector_id
     if expiry is None:
         # Immortal: fold into the mask; it dominates any pending TTL.
+        if slot.mask & vector_bit:
+            return  # already immortal — nothing to change
         slot.mask |= vector_bit
-        if slot.expiring:
-            slot.expiring.pop(vector_id, None)
+        expiring = slot.expiring
+        if expiring and expiring.pop(vector_id, None) is not None:
+            return  # TTL'd entry promoted: net entry count unchanged
+        node.app_entries += 1
         return
     if slot.mask & vector_bit:
         return  # already stored forever; a TTL refresh cannot shorten it
@@ -131,8 +212,48 @@ def write_entry(
         expiring = slot.expiring = {}
     new_expiry = float(expiry)
     current = expiring.get(vector_id)
-    if current is None or new_expiry > current:
+    if current is None:
         expiring[vector_id] = new_expiry
+        slot._ttl_or |= vector_bit
+        if new_expiry < slot._ttl_min:
+            slot._ttl_min = new_expiry
+        node.app_entries += 1
+    elif new_expiry > current:
+        # Refresh (max-wins): ``_ttl_min`` may now be a stale lower
+        # bound, which only makes the live_mask short-circuit fire less
+        # often — never incorrectly.
+        expiring[vector_id] = new_expiry
+
+
+def write_entry_mask(
+    node: Node,
+    metric_id: Hashable,
+    bit: int,
+    add_mask: int,
+    delta: Optional["npt.NDArray[np.uint64]"] = None,
+    arena: Optional["RegArena"] = None,
+) -> None:
+    """Fold a whole immortal vector bitmap into one ``(metric, bit)`` slot.
+
+    Equivalent to ``write_entry(node, metric_id, v, bit, None)`` for
+    every set bit ``v`` of ``add_mask``, in one operation: the bulk
+    insertion path writes an interval's deduplicated vector set with a
+    single mask OR (and, on the array backend, a single vectorized word
+    OR of the pre-packed ``delta`` row) instead of up to ``m`` per-vector
+    store writes.
+    """
+    slot = _slot_for(node, metric_id, bit, arena)
+    new_bits = add_mask & ~slot.mask
+    if not new_bits:
+        return
+    promoted = 0
+    expiring = slot.expiring
+    if expiring:
+        for vector in bits_of(new_bits & slot._ttl_or):
+            if expiring.pop(vector, None) is not None:
+                promoted += 1
+    slot.or_mask(add_mask, delta)
+    node.app_entries += new_bits.bit_count() - promoted
 
 
 def vectors_mask(node: Node, metric_id: Hashable, bit: int, now: int = 0) -> int:
@@ -154,9 +275,12 @@ def merge_store_values(
     """Merge two slots for the same key (used on graceful leave).
 
     Packed slots merge mask-wise (union of immortal vectors, max-wins on
-    TTL'd expiries, immortality dominating); plain ``{vector: expiry}``
-    dicts — the pre-packed layout — still merge max-wins so mixed-era
-    stores and the reference implementation keep working.
+    TTL'd expiries, immortality dominating) and the merge is folded into
+    ``incoming`` in place — for an array-backed
+    :class:`~repro.core.regstore.RegSlot` that moves the leaver's arena
+    row to the heir zero-copy.  Plain ``{vector: expiry}`` dicts — the
+    pre-packed layout — still merge max-wins so mixed-era stores and the
+    reference implementation keep working.
     """
     if isinstance(incoming, PackedSlot):
         mask = incoming.mask
@@ -169,7 +293,8 @@ def merge_store_values(
                     expiring[vector] = expiry
         for vector in bits_of(mask):
             expiring.pop(vector, None)
-        return PackedSlot(mask, expiring or None)
+        incoming.reset(mask, expiring or None)
+        return incoming
     if isinstance(incoming, dict):
         if not isinstance(existing, dict):
             return dict(incoming)
@@ -190,7 +315,7 @@ def purge_expired(node: Node, now: int) -> int:
         if not isinstance(slot, PackedSlot):
             continue
         expiring = slot.expiring
-        if expiring:
+        if expiring and now > slot._ttl_min:
             stale = [
                 vector for vector, expiry in expiring.items() if not _live(expiry, now)
             ]
@@ -199,17 +324,28 @@ def purge_expired(node: Node, now: int) -> int:
             removed += len(stale)
             if not expiring:
                 slot.expiring = None
+            slot._recompute_ttl_cache()
         if slot.mask == 0 and not slot.expiring:
             dead_slots.append(slot_key)
     for slot_key in dead_slots:
         del node.store[slot_key]
+    node.app_entries -= removed
     return removed
 
 
 def storage_entries(node: Node) -> int:
-    """Number of live-or-stale DHS entries stored at ``node``."""
-    return sum(
-        slot.entries()
-        for slot in node.store.values()
-        if isinstance(slot, PackedSlot)
-    )
+    """Number of live-or-stale DHS entries stored at ``node``.
+
+    O(1): reads the count ``write_entry``/``purge_expired`` maintain
+    incrementally.  Bulk store merges (graceful leaves) set
+    ``node.app_entries_stale``, and the next query rescans once to
+    resynchronize.
+    """
+    if node.app_entries_stale:
+        node.app_entries = sum(
+            slot.entries()
+            for slot in node.store.values()
+            if isinstance(slot, PackedSlot)
+        )
+        node.app_entries_stale = False
+    return node.app_entries

@@ -149,6 +149,10 @@ class DHTProtocol(ABC):
                         heir.store[key] = max(cast(Any, existing), cast(Any, value))
                     except TypeError:
                         heir.store[key] = value
+            if node.store:
+                # Bulk merge bypasses the incremental entry accounting;
+                # the heir recounts lazily on the next load snapshot.
+                heir.app_entries_stale = True
 
     def fail_node(self, node_id: int) -> None:
         """Crash ``node_id`` (data lost)."""
@@ -167,6 +171,15 @@ class DHTProtocol(ABC):
         """Whether ``node_id`` is present and not lazily failed."""
         node = self._nodes.get(node_id)
         return node is not None and node.alive
+
+    def live_node(self, node_id: int) -> Optional[Node]:
+        """The :class:`Node` for ``node_id`` if present and alive, else ``None``.
+
+        Fuses :meth:`is_alive` + :meth:`node` into one dict probe for the
+        bare-ring (no fault layer) counting fast path.
+        """
+        node = self._nodes.get(node_id)
+        return node if node is not None and node.alive else None
 
     def repair(self, node_id: int) -> None:
         """Evict a discovered-dead node from the routing state."""

@@ -30,7 +30,7 @@ NodeStore = Dict[StoreKey, StoreValue]
 class Node:
     """One overlay node."""
 
-    __slots__ = ("node_id", "alive", "store")
+    __slots__ = ("node_id", "alive", "store", "app_entries", "app_entries_stale")
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
@@ -38,6 +38,13 @@ class Node:
         #: Application-level storage; DHS keeps one packed
         #: ``(metric_id, bit) -> PackedSlot`` slot per key here.
         self.store: NodeStore = {}
+        #: Application-maintained entry count (DHS tuples stored here).
+        #: Kept incrementally by ``repro.core.tuples.write_entry`` /
+        #: ``purge_expired`` so load snapshots avoid a full store scan.
+        self.app_entries = 0
+        #: Set by bulk store merges (graceful leaves); the next
+        #: ``storage_entries`` query rescans once to resynchronize.
+        self.app_entries_stale = False
 
     @property
     def storage_entries(self) -> int:

@@ -1,0 +1,470 @@
+"""Register-array backend: arena mechanics and backend equivalence.
+
+Two layers of coverage:
+
+* Unit tests for :class:`~repro.core.regstore.RegArena` /
+  :class:`~repro.core.regstore.RegSlot` — row allocation, growth,
+  integer round-trips, shared-memory migrate/attach/close/unlink and the
+  leak-safety finalizer.
+* A hypothesis suite driving random insert / TTL-expiry / graceful-leave
+  / count sequences through two twin deployments — ``store="array"`` and
+  the ``store="packed"`` reference backend — and asserting identical
+  node-store state (``vectors_mask``) and identical
+  :class:`~repro.core.count.CountResult`s at every step.  This is the
+  determinism contract of docs/PERFORMANCE.md §"Register-array layout".
+"""
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.core.regstore import RegArena, RegSlot, tree_merge
+from repro.core.tuples import PackedSlot, storage_entries, vectors_mask, write_entry
+from repro.errors import ConfigurationError
+from repro.overlay.chord import ChordRing
+
+
+# ----------------------------------------------------------------------
+# Arena mechanics.
+# ----------------------------------------------------------------------
+class TestRegArena:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RegArena(0)
+        with pytest.raises(ConfigurationError):
+            RegArena(16, capacity=0)
+
+    def test_words_per_row(self):
+        assert RegArena(1).words == 1
+        assert RegArena(64).words == 1
+        assert RegArena(65).words == 2
+        assert RegArena(512).words == 8
+
+    def test_row_roundtrip_wide_mask(self):
+        arena = RegArena(130)  # 3 words per row
+        row = arena.alloc()
+        mask = (1 << 129) | (1 << 64) | 1
+        arena.write_row(row, mask)
+        assert arena.read_row(row) == mask
+
+    def test_alloc_zeroes_reused_rows(self):
+        arena = RegArena(64, capacity=1)
+        row = arena.alloc()
+        arena.write_row(row, 0xDEAD)
+        arena.free(row)
+        again = arena.alloc()
+        assert again == row
+        assert arena.read_row(again) == 0
+
+    def test_free_does_not_zero(self):
+        # The __del__-path contract: freeing must never write row data
+        # (forked workers free their slot copies against shared pages).
+        arena = RegArena(64)
+        row = arena.alloc()
+        arena.write_row(row, 0xBEEF)
+        arena.free(row)
+        assert int(arena.data[row][0]) == 0xBEEF
+
+    def test_grow_preserves_rows(self):
+        arena = RegArena(128, capacity=2)
+        masks = [(1 << 100) | i for i in range(9)]
+        rows = []
+        for mask in masks:
+            row = arena.alloc()
+            arena.write_row(row, mask)
+            rows.append(row)
+        assert arena.capacity >= 9
+        assert [arena.read_row(row) for row in rows] == masks
+
+    def test_rows_in_use(self):
+        arena = RegArena(64)
+        a, b = arena.alloc(), arena.alloc()
+        assert arena.rows_in_use == 2
+        arena.free(a)
+        assert arena.rows_in_use == 1
+        arena.free(b)
+        assert arena.rows_in_use == 0
+
+    def test_or_rows_union(self):
+        arena = RegArena(128)
+        rows = []
+        for mask in (1 << 3, 1 << 90, (1 << 3) | (1 << 127)):
+            row = arena.alloc()
+            arena.write_row(row, mask)
+            rows.append(row)
+        assert arena.or_rows(rows) == (1 << 3) | (1 << 90) | (1 << 127)
+        assert arena.or_rows([]) == 0
+
+    def test_or_row_words(self):
+        arena = RegArena(128)
+        row = arena.alloc()
+        arena.write_row(row, 1 << 5)
+        delta = np.zeros(arena.words, dtype=np.uint64)
+        delta[1] = np.uint64(1)  # bit 64
+        arena.or_row_words(row, delta)
+        assert arena.read_row(row) == (1 << 5) | (1 << 64)
+
+
+class TestSharedSegments:
+    def test_migrate_preserves_rows_and_slots(self):
+        arena = RegArena(64)
+        slot = arena.new_slot()
+        slot.mask = 0b1011
+        assert arena.shared_name is None
+        name = arena.migrate_to_shared()
+        assert name and arena.shared_name == name
+        assert arena.migrate_to_shared() == name  # idempotent
+        assert arena.read_row(slot.row) == 0b1011
+        slot.mask |= 0b100  # handles stay live after the buffer swap
+        assert arena.read_row(slot.row) == 0b1111
+        arena.unlink()
+
+    def test_attach_sees_owner_writes_both_ways(self):
+        owner = RegArena(128, shared=True)
+        row = owner.alloc()
+        owner.write_row(row, 1 << 70)
+        peer = RegArena.attach(owner.shared_name)
+        assert (peer.m, peer.words, peer.capacity) == (128, 2, owner.capacity)
+        assert peer.read_row(row) == 1 << 70
+        peer.data[row][0] |= np.uint64(1)
+        assert owner.read_row(row) == (1 << 70) | 1
+        peer.close()
+        owner.unlink()
+
+    def test_attach_rejects_foreign_segment(self):
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(ConfigurationError):
+                RegArena.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attached_arena_must_not_unlink(self):
+        owner = RegArena(64, shared=True)
+        peer = RegArena.attach(owner.shared_name)
+        with pytest.raises(ConfigurationError):
+            peer.unlink()
+        peer.close()
+        owner.unlink()
+
+    def test_unlink_removes_segment(self):
+        arena = RegArena(64, shared=True)
+        name = arena.shared_name
+        arena.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_close_is_idempotent_and_fails_loudly_after(self):
+        arena = RegArena(64, shared=True)
+        row = arena.alloc()
+        arena.close()
+        arena.close()
+        with pytest.raises(IndexError):
+            arena.read_row(row)
+
+    def test_finalizer_reclaims_dropped_segment(self):
+        arena = RegArena(64, shared=True)
+        name = arena.shared_name
+        del arena
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_shared_grow_moves_segment(self):
+        arena = RegArena(64, capacity=2, shared=True)
+        first = arena.shared_name
+        rows = [arena.alloc() for _ in range(3)]  # forces a grow
+        for i, row in enumerate(rows):
+            arena.write_row(row, 1 << i)
+        assert arena.shared_name != first
+        with pytest.raises(FileNotFoundError):  # outgrown segment unlinked
+            shared_memory.SharedMemory(name=first, create=False)
+        assert [arena.read_row(row) for row in rows] == [1, 2, 4]
+        arena.unlink()
+
+
+class TestRegSlot:
+    def test_mask_property_mirrors_row(self):
+        arena = RegArena(128)
+        slot = arena.new_slot()
+        assert isinstance(slot, RegSlot) and isinstance(slot, PackedSlot)
+        slot.mask = (1 << 90) | 1
+        assert slot.mask == (1 << 90) | 1
+        assert arena.read_row(slot.row) == slot.mask
+
+    def test_or_mask_with_packed_delta(self):
+        arena = RegArena(128)
+        slot = arena.new_slot()
+        slot.mask = 1
+        delta = np.zeros(arena.words, dtype=np.uint64)
+        delta[1] = np.uint64(1 << 2)  # bit 66
+        slot.or_mask(1 << 66, delta)
+        assert slot.mask == 1 | (1 << 66)
+        assert arena.read_row(slot.row) == slot.mask
+
+    def test_del_recycles_row(self):
+        arena = RegArena(64)
+        slot = arena.new_slot()
+        row = slot.row
+        del slot
+        gc.collect()
+        assert arena.alloc() == row
+
+
+class TestTreeMerge:
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            tree_merge([])
+
+    def test_single_layer_returned_as_is(self):
+        layer = np.arange(6, dtype=np.uint64).reshape(3, 2)
+        assert tree_merge([layer]) is layer
+
+    @given(st.integers(2, 7), st.integers(0, 2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_union_independent_of_layer_count(self, n_layers, seed):
+        rng = np.random.default_rng(seed)
+        layers = [
+            rng.integers(0, 2**63, size=(4, 2), dtype=np.int64).astype(np.uint64)
+            for _ in range(n_layers)
+        ]
+        expected = layers[0].copy()
+        for layer in layers[1:]:
+            expected |= layer
+        merged = tree_merge([layer.copy() for layer in layers])
+        assert np.array_equal(merged, expected)
+
+
+# ----------------------------------------------------------------------
+# Incremental storage_entries (no full-store scan on the hot path).
+# ----------------------------------------------------------------------
+class TestIncrementalStorageEntries:
+    def test_query_does_not_scan_slots(self, monkeypatch):
+        ring = ChordRing.build(8, bits=16, seed=3)
+        dhs = DistributedHashSketch(
+            ring, DHSConfig(key_bits=12, num_bitmaps=16), seed=1
+        )
+        dhs.insert_array("docs", np.arange(200, dtype=np.int64))
+        before = dhs.storage_per_node()
+        assert sum(before.values()) > 0
+
+        def boom(self):  # pragma: no cover - must never run
+            raise AssertionError("storage_entries scanned a slot")
+
+        monkeypatch.setattr(PackedSlot, "entries", boom)
+        assert dhs.storage_per_node() == before  # O(1) counter reads only
+
+    def test_stale_flag_triggers_one_rescan(self):
+        ring = ChordRing.build(8, bits=16, seed=3)
+        dhs = DistributedHashSketch(
+            ring, DHSConfig(key_bits=12, num_bitmaps=16), seed=1
+        )
+        dhs.insert_array("docs", np.arange(100, dtype=np.int64))
+        node = ring.node(ring.node_ids()[0])
+        true_count = storage_entries(node)
+        node.app_entries = -1  # corrupt the counter, then mark stale
+        node.app_entries_stale = True
+        assert storage_entries(node) == true_count
+        assert not node.app_entries_stale
+
+    def test_graceful_leave_marks_heir_stale(self):
+        ring = ChordRing.build(8, bits=16, seed=5)
+        dhs = DistributedHashSketch(
+            ring, DHSConfig(key_bits=12, num_bitmaps=16), seed=2
+        )
+        dhs.insert_array("docs", np.arange(500, dtype=np.int64))
+        total = sum(dhs.storage_per_node().values())
+        leaver = next(
+            node_id for node_id in ring.node_ids() if ring.node(node_id).store
+        )
+        ring.remove_node(leaver, graceful=True)
+        assert sum(dhs.storage_per_node().values()) == total
+
+
+# ----------------------------------------------------------------------
+# live_mask TTL short-circuit.
+# ----------------------------------------------------------------------
+class _CountingDict(dict):
+    """Dict that counts iteration — pins the no-walk fast path."""
+
+    walks = 0
+
+    def items(self):
+        type(self).walks += 1
+        return super().items()
+
+
+class TestLiveMaskShortCircuit:
+    def test_no_dict_walk_before_first_expiry(self):
+        slot = PackedSlot(mask=0b1)
+        slot.expiring = _CountingDict({3: 10.0, 4: 20.0})
+        slot._recompute_ttl_cache()
+        _CountingDict.walks = 0
+        # now <= _ttl_min (10): every TTL'd vector is provably live.
+        assert slot.live_mask(0) == 0b1 | (1 << 3) | (1 << 4)
+        assert slot.live_mask(10) == 0b1 | (1 << 3) | (1 << 4)
+        assert _CountingDict.walks == 0
+        # Past the earliest expiry the dict walk is required.
+        assert slot.live_mask(11) == 0b1 | (1 << 4)
+        assert _CountingDict.walks == 1
+
+    def test_refresh_keeps_short_circuit_conservative(self):
+        node_mask_bit = 1 << 2
+        slot = PackedSlot()
+        slot.expiring = {2: 5.0}
+        slot._recompute_ttl_cache()
+        # Max-wins refresh leaves _ttl_min at the stale lower bound 5 —
+        # the short circuit fires less often but never wrongly.
+        slot.expiring[2] = 50.0
+        assert slot._ttl_min == 5.0
+        assert slot.live_mask(30) == node_mask_bit  # dict walk, still live
+
+
+# ----------------------------------------------------------------------
+# Backend equivalence: array vs packed, end to end.
+# ----------------------------------------------------------------------
+METRICS = ("docs", "users", "hosts")
+
+
+def _build_pair(seed, ttl):
+    config = dict(key_bits=12, num_bitmaps=16, ttl=ttl)
+    pair = []
+    for store in ("array", "packed"):
+        ring = ChordRing.build(16, bits=16, seed=seed)
+        pair.append(
+            DistributedHashSketch(
+                ring, DHSConfig(store=store, **config), seed=seed
+            )
+        )
+    return pair
+
+
+def _count_view(result):
+    cost = result.cost
+    return (
+        result.estimates,
+        result.probes,
+        result.probed_ids,
+        result.intervals_scanned,
+        result.degraded,
+        (cost.hops, cost.messages, cost.bytes, cost.lookups, cost.timeouts),
+    )
+
+
+def _cost_view(cost):
+    return (cost.hops, cost.messages, cost.bytes, cost.lookups, cost.timeouts)
+
+
+def _assert_stores_identical(dhs_a, dhs_p, now):
+    assert list(dhs_a.dht.node_ids()) == list(dhs_p.dht.node_ids())
+    for node_id in dhs_a.dht.node_ids():
+        node_a = dhs_a.dht.node(node_id)
+        node_p = dhs_p.dht.node(node_id)
+        assert set(node_a.store) == set(node_p.store)
+        for metric, bit in node_a.store:
+            assert vectors_mask(node_a, metric, bit, now) == vectors_mask(
+                node_p, metric, bit, now
+            )
+            slot_a, slot_p = node_a.store[(metric, bit)], node_p.store[(metric, bit)]
+            assert slot_a == slot_p  # mask + expiring, backend-agnostic
+            if isinstance(slot_a, RegSlot):
+                # Row-sync invariant: the arena row always mirrors _mask.
+                assert slot_a.arena.read_row(slot_a.row) == slot_a.mask
+        assert storage_entries(node_a) == storage_entries(node_p)
+
+
+def op_strategy():
+    insert = st.tuples(
+        st.just("insert"),
+        st.sampled_from(METRICS),
+        st.integers(1, 400),  # item count
+        st.integers(0, 5),  # base offset (overlap across inserts)
+        st.integers(0, 12),  # now
+    )
+    sweep = st.tuples(st.just("sweep"), st.integers(0, 40))
+    leave = st.tuples(st.just("leave"), st.integers(0, 15))
+    count = st.tuples(st.just("count"), st.sampled_from(METRICS), st.integers(0, 40))
+    return st.one_of(insert, sweep, leave, count)
+
+
+class TestBackendEquivalence:
+    @given(
+        seed=st.integers(0, 2**16),
+        ttl=st.sampled_from([None, 8]),
+        ops=st.lists(op_strategy(), min_size=1, max_size=10),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_histories_identical(self, seed, ttl, ops):
+        dhs_a, dhs_p = _build_pair(seed, ttl)
+        latest = 0
+        for op in ops:
+            if op[0] == "insert":
+                _, metric, n, base, now = op
+                items = np.arange(base * 100, base * 100 + n, dtype=np.int64)
+                cost_a = dhs_a.insert_array(metric, items, now=now)
+                cost_p = dhs_p.insert_array(metric, items, now=now)
+                assert _cost_view(cost_a) == _cost_view(cost_p)
+                latest = max(latest, now)
+            elif op[0] == "sweep":
+                _, now = op
+                assert dhs_a.sweep_expired(now) == dhs_p.sweep_expired(now)
+                latest = max(latest, now)
+            elif op[0] == "leave":
+                _, pick = op
+                ids = list(dhs_a.dht.node_ids())
+                if len(ids) <= 2:
+                    continue
+                victim = ids[pick % len(ids)]
+                dhs_a.dht.remove_node(victim, graceful=True)
+                dhs_p.dht.remove_node(victim, graceful=True)
+            else:
+                _, metric, now = op
+                result_a = dhs_a.count(metric, now=now)
+                result_p = dhs_p.count(metric, now=now)
+                assert _count_view(result_a) == _count_view(result_p)
+            _assert_stores_identical(dhs_a, dhs_p, latest)
+
+    def test_scalar_and_bulk_paths_identical(self):
+        dhs_a, dhs_p = _build_pair(99, None)
+        items = list(range(50))
+        assert _cost_view(dhs_a.insert_many("docs", items)) == _cost_view(
+            dhs_p.insert_many("docs", items)
+        )
+        assert _cost_view(dhs_a.insert_bulk("users", items)) == _cost_view(
+            dhs_p.insert_bulk("users", items)
+        )
+        _assert_stores_identical(dhs_a, dhs_p, 0)
+        for metric in ("docs", "users"):
+            assert _count_view(dhs_a.count(metric)) == _count_view(dhs_p.count(metric))
+
+    def test_ttl_refresh_paths_identical(self):
+        dhs_a, dhs_p = _build_pair(7, 10)
+        items = list(range(40))
+        for dhs in (dhs_a, dhs_p):
+            dhs.insert_bulk("docs", items, now=0)
+            dhs.refresh("docs", items[:20], now=5)
+            dhs.sweep_expired(11)
+        _assert_stores_identical(dhs_a, dhs_p, 11)
+        assert _count_view(dhs_a.count("docs", now=11)) == _count_view(
+            dhs_p.count("docs", now=11)
+        )
+
+    def test_write_entry_mixed_backend_promotion(self):
+        # A TTL'd vector promoted to immortal must not double-count on
+        # either backend.
+        for arena in (None, RegArena(16)):
+            from repro.overlay.node import Node
+
+            node = Node(0)
+            write_entry(node, "docs", 3, 1, expiry=10, arena=arena)
+            write_entry(node, "docs", 3, 1, expiry=None, arena=arena)
+            assert storage_entries(node) == 1
+            slot = node.store[("docs", 1)]
+            assert slot.mask == 1 << 3 and not slot.expiring

@@ -1,0 +1,194 @@
+"""Zero-copy parallel counting/insertion: serial equivalence and leak safety.
+
+Pins the ``DHS_JOBS`` contract of :mod:`repro.core.shared`: at any
+worker count the parallel paths return results byte-identical to the
+serial ones (fault-free rings), and no shared-memory segment survives a
+call — not even when a worker crashes mid-trial.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import shared
+from repro.core.config import DHSConfig
+from repro.core.dhs import DistributedHashSketch
+from repro.core.regstore import RegArena
+from repro.errors import ConfigurationError
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.overlay.chord import ChordRing
+
+METRICS = ("docs", "users", "hosts", "repos", "keys", "jobs")
+
+
+def build_dhs(seed=11, store="array"):
+    ring = ChordRing.build(16, bits=16, seed=seed)
+    return DistributedHashSketch(
+        ring, DHSConfig(key_bits=12, num_bitmaps=16, store=store), seed=seed
+    )
+
+
+def shm_entries():
+    path = "/dev/shm"
+    return set(os.listdir(path)) if os.path.isdir(path) else set()
+
+
+def count_view(result):
+    cost = result.cost
+    return (
+        result.estimates,
+        result.probes,
+        result.probed_ids,
+        result.intervals_scanned,
+        result.degraded,
+        (cost.hops, cost.messages, cost.bytes, cost.lookups, cost.timeouts),
+    )
+
+
+def cost_view(cost):
+    return (cost.hops, cost.messages, cost.bytes, cost.lookups, cost.timeouts)
+
+
+def stores_of(dhs):
+    return {
+        node_id: {
+            key: (slot.mask, slot.expiring or None)
+            for key, slot in dhs.dht.node(node_id).store.items()
+        }
+        for node_id in dhs.dht.node_ids()
+    }
+
+
+class TestCountParallel:
+    def test_jobs4_identical_to_inline(self):
+        dhs = build_dhs()
+        for i, metric in enumerate(METRICS):
+            dhs.insert_array(metric, np.arange(i * 50, i * 50 + 300, dtype=np.int64))
+        serial = dhs.count_parallel(METRICS, jobs=1)
+        parallel = dhs.count_parallel(METRICS, jobs=4)
+        assert [count_view(r) for r in parallel] == [count_view(r) for r in serial]
+        dhs.arena.close()
+
+    def test_parallel_count_shares_arena(self):
+        dhs = build_dhs()
+        dhs.insert_array("docs", np.arange(100, dtype=np.int64))
+        assert dhs.arena.shared_name is None
+        dhs.count_parallel(["docs", "users"], jobs=2)
+        # Zero-copy precondition: the arena was migrated pre-fork.
+        assert dhs.arena.shared_name is not None
+        dhs.arena.close()
+
+    def test_packed_backend_still_works(self):
+        dhs_p = build_dhs(store="packed")
+        dhs_a = build_dhs(store="array")
+        for dhs in (dhs_p, dhs_a):
+            dhs.insert_array("docs", np.arange(200, dtype=np.int64))
+        results_p = dhs_p.count_parallel(["docs"], jobs=4)
+        results_a = dhs_a.count_parallel(["docs"], jobs=4)
+        assert [count_view(r) for r in results_p] == [count_view(r) for r in results_a]
+
+
+class TestInsertArrayParallel:
+    ITEMS = np.arange(6000, dtype=np.int64)
+
+    def test_jobs4_identical_to_serial(self):
+        serial = build_dhs()
+        parallel = build_dhs()
+        cost_s = serial.insert_array("docs", self.ITEMS)
+        cost_p = parallel.insert_array_parallel("docs", self.ITEMS, jobs=4)
+        assert cost_view(cost_p) == cost_view(cost_s)
+        assert stores_of(parallel) == stores_of(serial)
+        assert count_view(parallel.count("docs")) == count_view(serial.count("docs"))
+
+    def test_small_input_falls_back_to_serial(self):
+        serial = build_dhs()
+        parallel = build_dhs()
+        small = np.arange(100, dtype=np.int64)
+        cost_s = serial.insert_array("docs", small)
+        cost_p = parallel.insert_array_parallel("docs", small, jobs=4)
+        assert cost_view(cost_p) == cost_view(cost_s)
+        assert stores_of(parallel) == stores_of(serial)
+
+    def test_no_segments_leaked(self):
+        before = shm_entries()
+        dhs = build_dhs()
+        dhs.insert_array_parallel("docs", self.ITEMS, jobs=4)
+        assert shm_entries() <= before  # every delta segment reclaimed
+
+    def test_crashed_worker_leaks_nothing(self, monkeypatch):
+        before = shm_entries()
+        dhs = build_dhs()
+        monkeypatch.setattr(shared, "_CRASH_WORKER", 1)
+        with pytest.raises(Exception):  # the pool surfaces the dead worker
+            dhs.insert_array_parallel("docs", self.ITEMS, jobs=4)
+        # The finally-block unlink must reclaim every delta segment even
+        # though worker 1 died with os._exit and ran no cleanup.
+        assert shm_entries() <= before
+
+
+class TestWorkerFunctionsInline:
+    """Run the fork-side worker bodies in-process.
+
+    The end-to-end tests above exercise them inside forked children,
+    where the coverage tracer cannot see them; these calls pin the same
+    code paths deterministically in the parent.
+    """
+
+    def test_insert_delta_worker_inline(self):
+        dhs = build_dhs()
+        config = dhs.config
+        ids = np.arange(5000, dtype=np.int64)
+        delta = RegArena(
+            config.num_bitmaps, capacity=config.position_bits, shared=True
+        )
+        shared._INSERT_CTX = shared._InsertCtx(
+            ids=ids,
+            m=config.num_bitmaps,
+            key_bits=config.key_bits,
+            hash_seed=config.hash_seed,
+            position_bits=config.position_bits,
+            bit_shift=config.bit_shift,
+        )
+        try:
+            assert shared._insert_delta_worker((0, 0, ids.size, delta.shared_name))
+            assert delta.data.any()  # presence bits landed in the delta
+            # The delta's union must equal what the serial path stores.
+            serial = build_dhs()
+            serial.insert_array("docs", ids)
+            serial_union = 0
+            for node_id in serial.dht.node_ids():
+                for (_, _bit), slot in serial.dht.node(node_id).store.items():
+                    serial_union |= slot.mask
+            delta_union = 0
+            for position in range(config.position_bits):
+                delta_union |= delta.read_row(position)
+            assert delta_union == serial_union
+        finally:
+            shared._INSERT_CTX = None
+            delta.unlink()
+
+    def test_count_one_metered_inline(self):
+        dhs = build_dhs()
+        dhs.insert_array("docs", np.arange(300, dtype=np.int64))
+        dhs.insert_array("users", np.arange(300, dtype=np.int64))
+        plain = dhs.count_parallel(["docs", "users"], jobs=1)
+        registry = MetricsRegistry()
+        with obs.observed(registry=registry, tracing=False):
+            metered = dhs.count_parallel(["docs", "users"], jobs=1)
+        assert [count_view(r) for r in metered] == [count_view(r) for r in plain]
+        assert registry.snapshot()  # per-metric snapshots were merged
+
+    def test_worker_asserts_outside_context(self):
+        assert shared._COUNT_CTX is None and shared._INSERT_CTX is None
+        with pytest.raises(AssertionError):
+            shared._count_one(0)
+        with pytest.raises(AssertionError):
+            shared._insert_delta_worker((0, 0, 1, "nope"))
+
+
+class TestConfigValidation:
+    def test_unknown_store_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DHSConfig(store="bogus")
