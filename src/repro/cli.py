@@ -41,6 +41,7 @@ from repro.experiments.query_opt import run_query_opt
 from repro.experiments.faultmatrix import format_faultmatrix, run_faultmatrix
 from repro.experiments.robustness import format_robustness, run_failure_robustness
 from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.soak import format_soak, run_soak
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
 from repro.experiments.tracing import TraceScenario, format_trace, run_traced_count
@@ -145,6 +146,13 @@ def _run_faultmatrix(args: argparse.Namespace) -> str:
     return format_faultmatrix(run_faultmatrix(**kwargs))
 
 
+def _run_soak(args: argparse.Namespace) -> str:
+    kwargs = {"seed": args.seed, "jobs": args.jobs}
+    if args.nodes is not None:
+        kwargs["n_nodes"] = args.nodes
+    return format_soak(run_soak(**kwargs))
+
+
 def _run_trace(args: argparse.Namespace) -> str:
     scenario = TraceScenario(seed=args.seed)
     if args.nodes is not None:
@@ -188,6 +196,7 @@ EXPERIMENTS: Dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "churn": (_run_churn, "§3.3 soft-state maintenance under churn"),
     "robustness": (_run_robustness, "§3.5 undetected failures vs replication"),
     "faultmatrix": (_run_faultmatrix, "fault kind x intensity x policy x R matrix"),
+    "soak": (_run_soak, "continuous-churn soak: divergence & repair bandwidth"),
     "ablations": (_run_ablations, "lim / replication / bit-shift / overlay ablations"),
     "trace": (_run_trace, "traced count: span tree, metrics, Fig. 7 load table"),
 }

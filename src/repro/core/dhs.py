@@ -16,7 +16,12 @@ public API a downstream user works with::
 from __future__ import annotations
 
 import bisect
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # annotation only
+    import random
+
+    from repro.overlay.antientropy import AntiEntropyStats
 
 import numpy as np
 import numpy.typing as npt
@@ -25,7 +30,15 @@ from repro.core.config import DHSConfig
 from repro.core.count import Counter, CountResult
 from repro.core.insert import Inserter
 from repro.core.mapping import BitIntervalMap
-from repro.core.maintenance import refresh, stabilize, sweep_expired
+from repro.core.maintenance import (
+    MaintenanceConfig,
+    MaintenanceScheduler,
+    antientropy_sweep,
+    refresh,
+    replica_divergence,
+    stabilize,
+    sweep_expired,
+)
 from repro.core.policy import DEFAULT_POLICY, RetryPolicy
 from repro.core.regstore import RegArena
 from repro.core.tuples import merge_store_values, storage_entries
@@ -303,6 +316,50 @@ class DistributedHashSketch:
             now=now,
             size_model=self.config.size_model,
             mapping=self.mapping,
+        )
+
+    def antientropy(
+        self,
+        now: int = 0,
+        *,
+        sample: Optional[int] = None,
+        rng: Optional["random.Random"] = None,
+    ) -> "AntiEntropyStats":
+        """One proactive anti-entropy round over the replica chains.
+
+        Digest-tree exchange plus OR-merge between every responsive node
+        and its chain successors; a no-op (empty stats) when replication
+        is disabled.  ``sample`` with a seeded ``rng`` limits the round
+        to a subset of initiators.  See
+        :func:`repro.core.maintenance.antientropy_sweep`.
+        """
+        return antientropy_sweep(
+            self.dht,
+            self.config.replication,
+            now,
+            mapping=self.mapping,
+            size_model=self.config.size_model,
+            arena=self.arena,
+            sample=sample,
+            rng=rng,
+        )
+
+    def replica_divergence(self, now: int = 0) -> int:
+        """Missing replica copies across all chains (0 when converged)."""
+        return replica_divergence(self.dht, self.config.replication, now)
+
+    def make_scheduler(
+        self,
+        config: MaintenanceConfig,
+        seed: Optional[int] = None,
+        refresh_fn: Optional[Callable[[int], OpCost]] = None,
+    ) -> MaintenanceScheduler:
+        """A deterministic maintenance driver bound to this deployment."""
+        return MaintenanceScheduler(
+            self,
+            config,
+            seed=self.seed if seed is None else seed,
+            refresh_fn=refresh_fn,
         )
 
     def storage_per_node(self) -> Dict[int, int]:

@@ -215,7 +215,7 @@ class Inserter:
         unique_positions = combined // m
         unique_vectors = combined - unique_positions * m
         segment_positions, starts = np.unique(unique_positions, return_index=True)
-        bounds = np.append(starts, combined.size)
+        bounds = np.concatenate((starts, np.asarray([combined.size])))
         total = OpCost()
         for segment, position in enumerate(segment_positions.tolist()):
             index = self.mapping.interval_index(position)

@@ -12,17 +12,47 @@ kit); nothing here reads wall-clock time.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Iterable, Optional, Tuple, cast
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Hashable,
+    Iterable,
+    Optional,
+    Tuple,
+    cast,
+)
+
+import numpy as np
 
 from repro.core.insert import Inserter
 from repro.core.mapping import BitIntervalMap
 from repro.core.tuples import PackedSlot, bits_of, purge_expired, write_entry
+from repro.overlay.antientropy import AntiEntropyStats, antientropy_round
 from repro.overlay.dht import DHTProtocol
 from repro.overlay.messages import DEFAULT_SIZE_MODEL, SizeModel
-from repro.overlay.replication import replica_chain
+from repro.overlay.node import Node
+from repro.overlay.replication import live_predecessors, replica_chain
 from repro.overlay.stats import OpCost
+from repro.sim.seeds import rng_for
 
-__all__ = ["refresh", "stabilize", "sweep_expired"]
+if TYPE_CHECKING:  # annotation only — the facade imports this module
+    from repro.core.regstore import RegArena
+    import random
+
+    from repro.core.dhs import DistributedHashSketch
+
+__all__ = [
+    "MaintenanceConfig",
+    "MaintenanceReport",
+    "MaintenanceScheduler",
+    "antientropy_sweep",
+    "refresh",
+    "replica_divergence",
+    "stabilize",
+    "sweep_expired",
+]
 
 
 def refresh(
@@ -36,7 +66,14 @@ def refresh(
 
     Refreshing is literally re-insertion: matching entries get their
     expiry bumped, missing ones are re-created (e.g. after a crash).
+    An ndarray of item ids takes the vectorized
+    :meth:`~repro.core.insert.Inserter.insert_array` lane — bit- and
+    cost-identical to the scalar bulk path (both draw target keys from
+    the same per-interval RNG stream and store the same deduplicated
+    tuples), just hashed in one numpy pass.
     """
+    if isinstance(items, np.ndarray):
+        return inserter.insert_array(metric_id, items, origin=origin, now=now)
     return inserter.insert_bulk(metric_id, items, origin=origin, now=now)
 
 
@@ -53,19 +90,10 @@ def sweep_expired(dht: DHTProtocol, now: int) -> int:
     return removed
 
 
-def _live_predecessors(dht: DHTProtocol, node_id: int, degree: int) -> list[int]:
-    """The first ``degree`` live predecessors (mirror of replica_chain)."""
-    preds: list[int] = []
-    current = node_id
-    for _ in range(dht.size):
-        if len(preds) >= degree:
-            break
-        current = dht.predecessor_id(current)
-        if current == node_id:
-            break
-        if dht.is_alive(current):
-            preds.append(current)
-    return preds
+# The predecessor walk now lives next to replica_chain in
+# repro.overlay.replication; the private alias keeps this module's
+# call sites unchanged.
+_live_predecessors = live_predecessors
 
 
 def _entry_expiry(slot: PackedSlot, vector: int) -> Optional[int]:
@@ -245,3 +273,195 @@ def stabilize(
                 cost.repair_writes += wrote
                 dht.load.record(replica_id)
     return cost
+
+
+def antientropy_sweep(
+    dht: DHTProtocol,
+    replication: int,
+    now: int = 0,
+    *,
+    mapping: BitIntervalMap,
+    size_model: Optional[SizeModel] = None,
+    arena: Optional["RegArena"] = None,
+    sample: Optional[int] = None,
+    rng: Optional["random.Random"] = None,
+) -> AntiEntropyStats:
+    """One proactive anti-entropy round (digest exchange + OR-merge).
+
+    This is the core-side glue for
+    :func:`repro.overlay.antientropy.antientropy_round`: the overlay
+    module cannot import the interval geometry or the store writer
+    (layering), so both are injected here as closures — walk visibility
+    uses the same in-interval-or-overflow-owner rule as
+    :func:`_handoff_to_interval`, segments are the bit→interval mapping,
+    and writes land on the deployment's storage backend via ``arena``.
+    A no-op (empty stats) when replication is disabled: with no chains
+    there is nothing to reconcile, and pushing copies would manufacture
+    replication the configuration never asked for.
+    """
+    if replication <= 0:
+        return AntiEntropyStats()
+    model = size_model if size_model is not None else DEFAULT_SIZE_MODEL
+
+    def visible(bit: int, node_id: int) -> bool:
+        if not mapping.is_stored(bit):
+            return True
+        index = mapping.interval_index(bit)
+        if mapping.contains(index, node_id):
+            return True
+        lo, hi = mapping.interval_for_index(index)
+        return node_id == dht.owner_of(hi - 1)
+
+    def segment_of(bit: int) -> int:
+        return mapping.interval_index(bit) if mapping.is_stored(bit) else -1
+
+    def write_fn(
+        node: Node, metric: Hashable, vector: int, bit: int, expiry: Optional[int]
+    ) -> None:
+        write_entry(node, metric, vector, bit, expiry, arena=arena)
+
+    return antientropy_round(
+        dht,
+        replication,
+        now,
+        model=model,
+        visible=visible,
+        segment_of=segment_of,
+        write_fn=write_fn,
+        rng=rng,
+        sample=sample,
+    )
+
+
+def replica_divergence(dht: DHTProtocol, replication: int, now: int = 0) -> int:
+    """Total replica-chain divergence, in missing (node, entry) copies.
+
+    For every responsive node, the live bits it is primary for (none of
+    its ``replication`` responsive predecessors hold them) should be
+    present on each of its ``replication`` responsive chain successors;
+    every absence counts one.  Zero in a converged network — insert-time
+    replication covers chains, so no-fault runs sit at zero — and the
+    soak experiment's central gauge: after a fault it spikes, and
+    bounded anti-entropy rounds must drive it back to zero.
+    """
+    if replication <= 0:
+        return 0
+    total = 0
+    for node_id in dht.responsive_node_ids():
+        node = dht.node(node_id)
+        slots = [
+            (key, slot)
+            for key, slot in node.store.items()
+            if isinstance(slot, PackedSlot)
+        ]
+        if not slots:
+            continue
+        predecessors = live_predecessors(
+            dht, node_id, replication, responsive_only=True
+        )
+        chain = replica_chain(dht, node_id, replication, responsive_only=True)
+        if not chain:
+            continue
+        for slot_key, slot in slots:
+            live = slot.live_mask(now)
+            if not live:
+                continue
+            pred_mask = 0
+            for pred_id in predecessors:
+                pred_slot = dht.node(pred_id).store.get(slot_key)
+                if isinstance(pred_slot, PackedSlot):
+                    pred_mask |= pred_slot.live_mask(now)
+            primary = live & ~pred_mask
+            if not primary:
+                continue
+            for replica_id in chain:
+                replica_slot = dht.node(replica_id).store.get(slot_key)
+                have = (
+                    replica_slot.live_mask(now)
+                    if isinstance(replica_slot, PackedSlot)
+                    else 0
+                )
+                total += (primary & ~have).bit_count()
+    return total
+
+
+@dataclass(frozen=True)
+class MaintenanceConfig:
+    """Cadences for the background maintenance plane (logical ticks).
+
+    ``None`` (or 0) disables a duty; an ``every`` of ``k`` fires on
+    every tick divisible by ``k`` (including tick 0 — drivers that want
+    a quiet warm-up start their clock at 1).  ``antientropy_sample``
+    caps the number of initiator nodes per anti-entropy round; peer
+    selection is then seeded per tick by the scheduler, keeping runs
+    replayable.
+    """
+
+    refresh_every: Optional[int] = None
+    sweep_every: Optional[int] = None
+    stabilize_every: Optional[int] = None
+    antientropy_every: Optional[int] = None
+    antientropy_sample: Optional[int] = None
+
+
+@dataclass
+class MaintenanceReport:
+    """What one scheduler tick did."""
+
+    tick: int
+    cost: OpCost = field(default_factory=OpCost)
+    refreshed: bool = False
+    swept: int = 0
+    antientropy: Optional[AntiEntropyStats] = None
+
+
+class MaintenanceScheduler:
+    """Deterministic maintenance driver on the logical clock.
+
+    Interleaves the four background duties in a fixed order each tick —
+    refresh, sweep, stabilize, anti-entropy — so a run is a pure
+    function of (initial state, fault plan, seed).  The refresh duty is
+    a caller-supplied callback (only the data owners know which items
+    are still live); the other three go through the
+    :class:`~repro.core.dhs.DistributedHashSketch` facade.
+    """
+
+    def __init__(
+        self,
+        dhs: "DistributedHashSketch",
+        config: MaintenanceConfig,
+        seed: int = 0,
+        refresh_fn: Optional[Callable[[int], OpCost]] = None,
+    ) -> None:
+        self.dhs = dhs
+        self.config = config
+        self.seed = seed
+        self.refresh_fn = refresh_fn
+
+    @staticmethod
+    def _due(every: Optional[int], now: int) -> bool:
+        return every is not None and every > 0 and now % every == 0
+
+    def tick(self, now: int) -> MaintenanceReport:
+        """Run every duty due at ``now``; returns what happened."""
+        config = self.config
+        report = MaintenanceReport(tick=now)
+        if self.refresh_fn is not None and self._due(config.refresh_every, now):
+            report.cost.add(self.refresh_fn(now))
+            report.refreshed = True
+        if self._due(config.sweep_every, now):
+            report.swept = self.dhs.sweep_expired(now)
+        if self._due(config.stabilize_every, now):
+            report.cost.add(self.dhs.stabilize(now))
+        if self._due(config.antientropy_every, now):
+            rng = (
+                rng_for(self.seed, "antientropy", now)
+                if config.antientropy_sample
+                else None
+            )
+            stats = self.dhs.antientropy(
+                now, sample=config.antientropy_sample, rng=rng
+            )
+            report.antientropy = stats
+            report.cost.add(stats.cost)
+        return report

@@ -330,6 +330,27 @@ class RegArena:
         union = np.bitwise_or.reduce(self._data[list(rows)], axis=0)
         return int.from_bytes(union.tobytes(), "little")
 
+    def rows_canonical(self, rows: Sequence[int]) -> List[bytes]:
+        """Canonical bytes of each row: little-endian, trailing zeros stripped.
+
+        One fancy-index gather copies all requested rows out of the
+        matrix at once; the per-row strip makes the encoding identical
+        to ``mask.to_bytes((mask.bit_length() + 7) // 8, "little")`` of
+        the equivalent ``PackedSlot`` bitmap, so digests computed over
+        either backend agree bit for bit.  Hashing the bytes is the
+        anti-entropy module's job (dhslint rule DHS1001) — this is pure
+        layout canonicalization.
+        """
+        if not rows:
+            return []
+        block = self._data[list(rows)]
+        raw = block.tobytes()
+        stride = self.words * 8
+        return [
+            raw[i * stride : (i + 1) * stride].rstrip(b"\x00")
+            for i in range(len(rows))
+        ]
+
 
 def _cleanup_segment(shm: shared_memory.SharedMemory, owner: bool) -> None:
     """Finalizer body: unmap (and for owners, unlink) a segment."""

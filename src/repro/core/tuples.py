@@ -308,8 +308,16 @@ def merge_store_values(
 
 
 def purge_expired(node: Node, now: int) -> int:
-    """Drop expired entries from ``node``; returns how many were removed."""
+    """Drop expired entries from ``node``; returns how many were removed.
+
+    The sweep already visits every slot, so it also recomputes the
+    incremental ``app_entries`` count from what actually survives
+    (rather than decrementing a possibly-stale value): any divergence
+    introduced outside ``write_entry`` — an amnesia rejoin wiping the
+    store, a bulk merge — is resynchronized here for free.
+    """
     removed = 0
+    surviving = 0
     dead_slots = []
     for slot_key, slot in node.store.items():
         if not isinstance(slot, PackedSlot):
@@ -327,9 +335,12 @@ def purge_expired(node: Node, now: int) -> int:
             slot._recompute_ttl_cache()
         if slot.mask == 0 and not slot.expiring:
             dead_slots.append(slot_key)
+        else:
+            surviving += slot.entries()
     for slot_key in dead_slots:
         del node.store[slot_key]
-    node.app_entries -= removed
+    node.app_entries = surviving
+    node.app_entries_stale = False
     return removed
 
 

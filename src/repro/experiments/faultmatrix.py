@@ -18,6 +18,25 @@ machinery stacked on top of replication:
     replicas in passing and one :func:`~repro.core.maintenance.stabilize`
     sweep runs before the measured counts (both cost-accounted; the
     repair parts are inert at ``R = 0`` where there are no replicas).
+``retry+readrepair``
+    Retries plus query-driven read-repair *only* — no background sweep.
+    The honest baseline for proactive reconciliation: replicas heal only
+    where a count happens to walk.
+``retry+antientropy``
+    ``retry+readrepair`` plus proactive digest-tree reconciliation:
+    :meth:`~repro.core.dhs.DistributedHashSketch.antientropy` rounds run
+    before the measured counts until the round writes nothing (bounded).
+    The under-read gap between this column and ``retry+readrepair`` on
+    amnesia/partition cells is the tentpole's acceptance gate.
+
+Faults bias the sketch one way only: lost or unreachable registers can
+*hide* bits, never invent them, so the fault signature is an estimate
+below what a lossless count of the same deployment would return.  Raw
+error against the true cardinality conflates that with the sketch's own
+(sign-varying) estimation error, so each cell also reports
+``underread_pct`` — the clamped shortfall of each count against the
+cell's :meth:`~repro.core.dhs.DistributedHashSketch.local_sketch`
+reference, i.e. exactly the bits the fault cost us.
 
 Besides accuracy and hop cost, the matrix reports what the degraded-mode
 machinery says about each run: the fraction of counts flagged
@@ -28,7 +47,7 @@ budget-exhausted intervals).  A lossy run should *know* it is lossy.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,29 +66,57 @@ __all__ = [
     "FAULT_MATRIX_KINDS",
     "POLICIES",
     "FaultMatrixRow",
+    "PolicySpec",
     "run_faultmatrix",
     "format_faultmatrix",
 ]
 
-#: name -> (retry policy, use read-repair + stabilize).
-POLICIES: Dict[str, Tuple[RetryPolicy, bool]] = {
-    "none": (DEFAULT_POLICY, False),
-    "retry": (RetryPolicy(max_attempts=3, backoff_hops=1), False),
-    "retry+repair": (RetryPolicy(max_attempts=3, backoff_hops=1), True),
+
+class PolicySpec(NamedTuple):
+    """One recovery-policy column: retries plus which healers run."""
+
+    policy: RetryPolicy
+    read_repair: bool
+    stabilize: bool
+    antientropy: bool
+
+
+_RETRY = RetryPolicy(max_attempts=3, backoff_hops=1)
+
+#: The policy columns (all healers are inert at ``R = 0``).
+POLICIES: Dict[str, PolicySpec] = {
+    "none": PolicySpec(DEFAULT_POLICY, False, False, False),
+    "retry": PolicySpec(_RETRY, False, False, False),
+    "retry+repair": PolicySpec(_RETRY, True, True, False),
+    "retry+readrepair": PolicySpec(_RETRY, True, False, False),
+    "retry+antientropy": PolicySpec(_RETRY, True, False, True),
 }
 
 #: Fault kinds the matrix can sweep (drop = ambient message loss).
-FAULT_MATRIX_KINDS = ("drop", "lazy_crash", "crash", "amnesia", "transient")
+FAULT_MATRIX_KINDS = (
+    "drop",
+    "lazy_crash",
+    "crash",
+    "amnesia",
+    "transient",
+    "partition",
+)
 
 #: When the measured counts happen, per kind: mid-outage for transient
-#: faults, after the rejoin for amnesia, right after onset otherwise.
+#: faults and partitions, after the rejoin for amnesia, right after
+#: onset otherwise.
 _COUNT_TICK = {
     "drop": 1,
     "lazy_crash": 1,
     "crash": 1,
     "amnesia": 3,
     "transient": 2,
+    "partition": 2,
 }
+
+#: Cap on pre-count anti-entropy rounds (each round is a full sweep;
+#: convergence is typically reached in one or two).
+_ANTIENTROPY_ROUNDS = 3
 
 
 def _plan_for(kind: str, intensity: float) -> FaultPlan:
@@ -88,8 +135,8 @@ def _plan_for(kind: str, intensity: float) -> FaultPlan:
         return FaultPlan(drop_probability=intensity, drop_from=1)
     if kind == "amnesia":
         event = FaultEvent("amnesia", at=1, fraction=intensity, duration=2)
-    elif kind == "transient":
-        event = FaultEvent("transient", at=1, fraction=intensity, duration=3)
+    elif kind in ("transient", "partition"):
+        event = FaultEvent(kind, at=1, fraction=intensity, duration=3)
     else:
         event = FaultEvent(kind, at=1, fraction=intensity, duration=0)
     return FaultPlan(events=(event,))
@@ -104,6 +151,7 @@ class FaultMatrixRow:
     policy: str
     replication: int
     error_pct: float
+    underread_pct: float
     hops: float
     degraded_pct: float
     confidence: float
@@ -123,14 +171,17 @@ def _faultmatrix_cell(
     num_bitmaps: int,
     estimator: str,
     trials: int,
-) -> Tuple[float, float, float, float, float]:
+) -> Tuple[float, float, float, float, float, float]:
     """One matrix cell: inject, recover, count.
 
-    Returns mean ``(error, hops, degraded, confidence, repair_writes)``
-    over ``trials`` counts from random origins.  Deployment, fault and
-    origin seeds deliberately exclude the policy name: every policy
-    faces the *identical* ring, victims, drop stream and querying nodes,
-    so policy columns are paired comparisons rather than fresh draws.
+    Returns mean ``(error, underread, hops, degraded, confidence,
+    repair_writes)`` over ``trials`` counts from random origins.
+    Deployment, fault and origin seeds deliberately exclude the policy
+    name: every policy faces the *identical* ring, victims, drop stream
+    and querying nodes, so policy columns are paired comparisons rather
+    than fresh draws.  ``underread`` is each count's clamped shortfall
+    against the lossless ``local_sketch`` reference of the same
+    deployment — the fault-attributable part of the error.
     """
     cell = (fault_kind, str(intensity), replication, draw)
     items = np.arange(n_items, dtype=np.int64)
@@ -138,7 +189,7 @@ def _faultmatrix_cell(
     injector = FaultInjector(
         ring, _plan_for(fault_kind, intensity), seed=derive_seed(seed, "faults", *cell)
     )
-    policy, repair = POLICIES[policy_name]
+    spec = POLICIES[policy_name]
     dhs = DistributedHashSketch(
         injector,
         DHSConfig(
@@ -146,32 +197,43 @@ def _faultmatrix_cell(
             replication=replication,
             estimator=estimator,
             hash_seed=seed + draw,
-            read_repair=repair and replication > 0,
+            read_repair=spec.read_repair and replication > 0,
         ),
         seed=derive_seed(seed, "dhs", *cell),
-        policy=policy,
+        policy=spec.policy,
     )
     populate_metric(dhs, "docs", items, seed=derive_seed(seed, "load", *cell))
+    lossless = dhs.local_sketch(items.tolist()).estimate()
     now = _COUNT_TICK[fault_kind]
     injector.advance_to(now)
     repair_writes = 0.0
-    if repair and replication > 0:
+    if spec.stabilize and replication > 0:
         repair_writes += dhs.stabilize(now=now).repair_writes
+    if spec.antientropy and replication > 0:
+        for _ in range(_ANTIENTROPY_ROUNDS):
+            stats = dhs.antientropy(now)
+            repair_writes += stats.entries_written
+            if stats.entries_written == 0:
+                break
     rng = rng_for(seed, "origins", *cell)
     errors: List[float] = []
+    underreads: List[float] = []
     hops: List[float] = []
     degraded: List[float] = []
     confidences: List[float] = []
     for _ in range(trials):
         origin = injector.random_live_node(rng)
         result = dhs.count("docs", origin=origin, now=now)
-        errors.append(abs(result.estimate() / n_items - 1.0))
+        estimate = result.estimate()
+        errors.append(abs(estimate / n_items - 1.0))
+        underreads.append(max(0.0, 1.0 - estimate / lossless))
         hops.append(float(result.cost.hops))
         degraded.append(1.0 if result.degraded else 0.0)
         confidences.append(min(result.confidence.values(), default=1.0))
         repair_writes += result.cost.repair_writes
     return (
         sum(errors) / trials,
+        sum(underreads) / trials,
         sum(hops) / trials,
         sum(degraded) / trials,
         sum(confidences) / trials,
@@ -252,10 +314,11 @@ def run_faultmatrix(
                             policy=policy,
                             replication=replication,
                             error_pct=100 * mean[0],
-                            hops=mean[1],
-                            degraded_pct=100 * mean[2],
-                            confidence=mean[3],
-                            repair_writes=mean[4],
+                            underread_pct=100 * mean[1],
+                            hops=mean[2],
+                            degraded_pct=100 * mean[3],
+                            confidence=mean[4],
+                            repair_writes=mean[5],
                         )
                     )
     return rows
@@ -265,7 +328,7 @@ def format_faultmatrix(rows: List[FaultMatrixRow]) -> str:
     """Render the fault matrix grid."""
     return format_table(
         "Fault matrix: fault x intensity x policy x replication",
-        ["fault", "p", "policy", "R", "error %", "hops", "degr %", "conf", "repairs"],
+        ["fault", "p", "policy", "R", "error %", "under %", "hops", "degr %", "conf", "repairs"],
         [
             [
                 row.fault,
@@ -273,6 +336,7 @@ def format_faultmatrix(rows: List[FaultMatrixRow]) -> str:
                 row.policy,
                 row.replication,
                 f"{row.error_pct:.1f}",
+                f"{row.underread_pct:.1f}",
                 f"{row.hops:.0f}",
                 f"{row.degraded_pct:.0f}",
                 f"{row.confidence:.3f}",

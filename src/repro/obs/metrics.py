@@ -31,6 +31,7 @@ __all__ = [
     "BUCKETS_HOPS",
     "BUCKETS_PROBES",
     "BUCKETS_BITS",
+    "BUCKETS_SEGMENTS",
     "METRIC_BUCKETS",
     "Histogram",
     "MetricsRegistry",
@@ -53,6 +54,10 @@ BUCKETS_PROBES: Tuple[float, ...] = (0, 1, 2, 3, 4, 5, 8, 12, 20, 40)
 #: Buckets for per-probe set-bit counts (``bits touched``).
 BUCKETS_BITS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
 
+#: Buckets for anti-entropy segment counts per reconciliation (a node
+#: root covers one segment per stored interval, ~L - b of them).
+BUCKETS_SEGMENTS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+
 #: The metric catalogue: histogram names -> default bucket bounds.
 #: Counters and gauges need no pre-declaration; histograms observed via
 #: :meth:`MetricsRegistry.observe` fall back to these bounds.
@@ -61,6 +66,7 @@ METRIC_BUCKETS: Mapping[str, Tuple[float, ...]] = {
     "dhs.count.probes_per_interval": BUCKETS_PROBES,
     "dhs.count.bits_touched": BUCKETS_BITS,
     "dhs.insert.store_hops": BUCKETS_HOPS,
+    "dhs.antientropy.segments_mismatched": BUCKETS_SEGMENTS,
 }
 
 #: Fallback bounds for histograms not in the catalogue.

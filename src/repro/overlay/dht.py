@@ -100,6 +100,16 @@ class DHTProtocol(ABC):
         """Sorted ids of the live nodes (do not mutate)."""
         return self._ids
 
+    def responsive_node_ids(self) -> List[int]:
+        """Sorted ids of the live nodes that would answer right now.
+
+        The maintenance plane iterates this instead of :meth:`node_ids`:
+        background rounds can only run on nodes reachable through the
+        current fault state (partitioned peers rejoin the schedule when
+        the outage lifts).
+        """
+        return [nid for nid in self._ids if self.node_responsive(nid)]
+
     def node(self, node_id: int) -> Node:
         """The :class:`Node` for ``node_id``; raises if unknown/dead."""
         try:

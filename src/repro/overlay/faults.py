@@ -274,6 +274,11 @@ class FaultInjector(DHTProtocol, FaultHooks):
         if self.has_node(node_id):
             node = self._nodes[node_id]
             node.store.clear()
+            # The store is gone, so the incremental entry count must
+            # follow — otherwise storage_entries reports phantom load
+            # until something forces a rescan.
+            node.app_entries = 0
+            node.app_entries_stale = False
             node.alive = True
         else:
             # Evicted while down (a lookup discovered the corpse):

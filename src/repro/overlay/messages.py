@@ -30,11 +30,18 @@ class SizeModel:
         One DHT key/identifier (L/8; 8 for 64-bit IDs).
     probe_request_bytes:
         A counting probe: metric id(s) + bit position + flags.
+    digest_bytes:
+        One anti-entropy digest (blake2b-128 over a register segment or
+        a node root).  Digests are the bandwidth *floor* of a
+        reconciliation round: a converged pair exchanges two roots and
+        stops, so steady-state repair traffic is ``2 * digest_bytes``
+        per pair instead of a full register transfer.
     """
 
     tuple_bytes: int = 8
     key_bytes: int = 8
     probe_request_bytes: int = 8
+    digest_bytes: int = 16
 
     def insert_bytes(self, hops: int, tuples: int = 1) -> float:
         """Bytes to route ``tuples`` DHS tuples over ``hops`` hops."""
@@ -49,6 +56,15 @@ class SizeModel:
         request = request_hops * (self.probe_request_bytes + (metrics - 1) * self.key_bytes)
         response = tuples_returned * self.tuple_bytes
         return float(request + response)
+
+    def summary_bytes(self, slots: int, entries: int) -> float:
+        """Bytes for a segment summary: slot keys plus their set bits.
+
+        A mismatched anti-entropy segment degrades to shipping its state
+        as tuples — one key per slot, one tuple per live ``(vector, bit)``
+        entry — which is exactly what the receiving side needs to OR-merge.
+        """
+        return float(slots * self.key_bytes + entries * self.tuple_bytes)
 
 
 #: The size model matching the paper's evaluation configuration.

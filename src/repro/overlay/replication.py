@@ -15,15 +15,20 @@ from repro.overlay.dht import DHTProtocol
 from repro.overlay.node import Node
 from repro.overlay.stats import OpCost
 
-__all__ = ["replicate_to_successors", "replica_chain"]
+__all__ = ["replicate_to_successors", "replica_chain", "live_predecessors"]
 
 
-def replica_chain(dht: DHTProtocol, node_id: int, degree: int) -> List[int]:
+def replica_chain(
+    dht: DHTProtocol, node_id: int, degree: int, responsive_only: bool = False
+) -> List[int]:
     """The first ``degree`` distinct *live* successors of ``node_id``.
 
     Lazily-failed nodes (``mark_failed``) still occupy ring positions but
     have lost their stores — writing a replica there would silently void
     the ``p_f^R`` bit-survival guarantee, so the walk skips them.
+    ``responsive_only`` additionally skips transiently-unreachable nodes
+    (partitions): anti-entropy pairs only with peers it can actually
+    exchange messages with right now.
     """
     chain: List[int] = []
     current = node_id
@@ -35,9 +40,35 @@ def replica_chain(dht: DHTProtocol, node_id: int, degree: int) -> List[int]:
         current = dht.successor_id(current)
         if current == node_id:
             break  # wrapped around a tiny ring
-        if dht.is_alive(current):
+        if dht.is_alive(current) and (
+            not responsive_only or dht.node_responsive(current)
+        ):
             chain.append(current)
     return chain
+
+
+def live_predecessors(
+    dht: DHTProtocol, node_id: int, degree: int, responsive_only: bool = False
+) -> List[int]:
+    """The first ``degree`` live predecessors (mirror of :func:`replica_chain`).
+
+    Used to decide chain *primacy*: a node is primary for the bits none
+    of its ``degree`` live predecessors hold, which is what keeps repair
+    sweeps from flooding copies around the whole ring.
+    """
+    preds: List[int] = []
+    current = node_id
+    for _ in range(dht.size):
+        if len(preds) >= degree:
+            break
+        current = dht.predecessor_id(current)
+        if current == node_id:
+            break
+        if dht.is_alive(current) and (
+            not responsive_only or dht.node_responsive(current)
+        ):
+            preds.append(current)
+    return preds
 
 
 def replicate_to_successors(

@@ -64,6 +64,39 @@ class TestAcceptance:
         assert by[("amnesia", 0.1, "none", 2)].confidence == 1.0
 
 
+class TestAntiEntropyGate:
+    """The tentpole's acceptance gate, at the bench configuration."""
+
+    @pytest.fixture(scope="class")
+    def gate(self):
+        return {
+            (r.fault, r.intensity, r.policy): r
+            for r in run_faultmatrix(
+                fault_kinds=("amnesia", "partition"),
+                intensities=(0.3, 0.4),
+                policies=("retry+readrepair", "retry+antientropy"),
+                replications=(2,),
+                n_nodes=96, n_items=6_000, num_bitmaps=32,
+                estimator="sll", trials=3, draws=3, seed=3,
+            )
+        }
+
+    @pytest.mark.parametrize("fault", ["amnesia", "partition"])
+    @pytest.mark.parametrize("intensity", [0.3, 0.4])
+    def test_antientropy_strictly_lowers_underread(self, gate, fault, intensity):
+        readrepair = gate[(fault, intensity, "retry+readrepair")]
+        antientropy = gate[(fault, intensity, "retry+antientropy")]
+        assert antientropy.underread_pct < readrepair.underread_pct
+        assert antientropy.repair_writes > readrepair.repair_writes
+
+    def test_underread_never_exceeds_error(self, gate):
+        # Under-read is the fault-attributable slice of the error: it
+        # can't exceed the total error against truth by more than the
+        # sketch's own (bounded) estimation bias.
+        for row in gate.values():
+            assert row.underread_pct <= row.error_pct + 15.0
+
+
 class TestHarness:
     def test_parallel_matches_serial(self):
         kwargs = dict(

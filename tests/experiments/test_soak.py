@@ -1,0 +1,110 @@
+"""Tests for the continuous-churn soak driver (repro.experiments.soak)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS
+from repro.errors import ConfigurationError
+from repro.experiments.soak import (
+    SOAK_FAULT_CYCLE,
+    format_soak,
+    run_soak,
+    soak_plan,
+)
+
+SMOKE = dict(
+    ticks=40, fault_every=10, fraction=0.15, duration=3,
+    n_nodes=48, items_per_tick=40, num_bitmaps=32,
+    estimator="sll", replication=2, count_every=2, seed=3,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_soak(**SMOKE)
+
+
+@pytest.fixture(scope="module")
+def by(rows):
+    return {row.policy: row for row in rows}
+
+
+class TestPlan:
+    def test_no_fault_plan_is_empty(self):
+        assert soak_plan(50, None, 0.2, 3).is_empty
+        assert soak_plan(50, 0, 0.2, 3).is_empty
+
+    def test_kinds_cycle_and_recovery_fits_inside_run(self):
+        plan = soak_plan(60, 12, 0.2, 4)
+        assert [e.kind for e in plan.events] == list(SOAK_FAULT_CYCLE)
+        for event in plan.events:
+            assert event.at + max(event.duration, 1) < 60
+
+    def test_timed_kinds_carry_duration(self):
+        plan = soak_plan(60, 12, 0.2, 4)
+        for event in plan.events:
+            if event.kind in ("amnesia", "partition", "transient"):
+                assert event.duration == 4
+            else:
+                assert event.duration == 0
+
+
+class TestAcceptance:
+    def test_antientropy_ends_converged(self, by):
+        assert by["antientropy"].final_divergence == 0
+
+    def test_antientropy_bounds_divergence(self, by):
+        assert by["antientropy"].mean_divergence < by["readrepair"].mean_divergence
+        assert (
+            by["antientropy"].mean_convergence_ticks
+            < by["readrepair"].mean_convergence_ticks
+        )
+
+    def test_repair_bandwidth_is_charged(self, by):
+        # Every reconciliation byte flows through the SizeModel; the
+        # read-repair-only policy never pays any.
+        assert by["antientropy"].repair_kb > 0
+        assert by["antientropy"].repair_writes > 0
+        assert by["readrepair"].repair_kb == 0
+
+    def test_antientropy_underreads_less(self, by):
+        assert (
+            by["antientropy"].mean_underread_pct
+            < by["readrepair"].mean_underread_pct
+        )
+
+
+class TestHarness:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(SMOKE, ticks=16, n_nodes=24)
+        assert run_soak(jobs=2, **kwargs) == run_soak(jobs=1, **kwargs)
+
+    def test_no_fault_run_is_byte_identical(self):
+        kwargs = dict(SMOKE, ticks=16, n_nodes=24, fault_every=None)
+        first = run_soak(jobs=1, **kwargs)
+        second = run_soak(jobs=2, **kwargs)
+        assert [r.trace_digest for r in first] == [r.trace_digest for r in second]
+        for row in first:
+            assert row.faults == 0
+            assert row.final_divergence == 0
+
+    def test_no_fault_policies_estimate_identically(self):
+        kwargs = dict(SMOKE, ticks=16, n_nodes=24, fault_every=None)
+        rows = {r.policy: r for r in run_soak(**kwargs)}
+        # Reconciliation OR-merges existing values only, so with no
+        # faults the two policies' counts cannot differ.
+        assert (
+            rows["antientropy"].mean_underread_pct
+            == rows["readrepair"].mean_underread_pct
+        )
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_soak(policies=("wishful",), **SMOKE)
+
+    def test_format_renders_every_row(self, rows):
+        table = format_soak(rows)
+        assert "div mean" in table and "repair kB" in table
+        assert table.count("\n") >= len(rows)
+
+    def test_cli_registration(self):
+        assert "soak" in EXPERIMENTS

@@ -21,6 +21,7 @@ class TestCatalogue:
             "churn",
             "robustness",
             "faultmatrix",
+            "soak",
             "ablations",
             "trace",
         }

@@ -405,6 +405,70 @@ class TestSharedMemoryOutsideRegstore:
 
 
 # ----------------------------------------------------------------------
+# DHS1001 — digest computation over register state outside antientropy
+# ----------------------------------------------------------------------
+class TestDigestOutsideAntientropy:
+    def test_hashlib_next_to_regstore_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import hashlib\n"
+            "from repro.core.regstore import RegArena\n"
+            "d = hashlib.blake2b(b'row', digest_size=16)\n",
+            module="repro.core.maintenance",
+        )
+        # Both the import and the call are flagged.
+        assert codes == ["DHS1001", "DHS1001"]
+
+    def test_from_import_forms_flagged(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from hashlib import blake2b\n"
+            "from repro.core import regstore\n"
+            "d = blake2b(b'row')\n",
+            module="repro.experiments.soak",
+        )
+        assert codes == ["DHS1001", "DHS1001"]
+
+    def test_antientropy_module_exempt(self, tmp_path):
+        # The same snippet would trip DHS201 too (overlay importing
+        # core) — the real module duck-types arenas for exactly that
+        # reason; here only the DHS1001 exemption is under test.
+        codes, _ = lint(
+            tmp_path,
+            "import hashlib\n"
+            "from repro.core.regstore import RegArena\n"
+            "d = hashlib.blake2b(b'row')\n",
+            module="repro.overlay.antientropy",
+        )
+        assert "DHS1001" not in codes
+
+    def test_hashlib_without_regstore_clean(self, tmp_path):
+        # workloads/relations.py hashes relation names — no register
+        # state in sight, so no canonicalization to fork.
+        codes, _ = lint(
+            tmp_path,
+            "import hashlib\nd = hashlib.blake2b(b'relation').digest()\n",
+            module="repro.workloads.relations",
+        )
+        assert codes == []
+
+    def test_regstore_without_hashlib_clean(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "from repro.core.regstore import RegArena\narena = None\n",
+            module="repro.core.maintenance",
+        )
+        assert codes == []
+
+    def test_outside_package_not_checked(self, tmp_path):
+        codes, _ = lint(
+            tmp_path,
+            "import hashlib\nfrom repro.core.regstore import RegArena\n",
+        )
+        assert codes == []
+
+
+# ----------------------------------------------------------------------
 # DHS502 — unseeded TrialSpec in experiment drivers
 # ----------------------------------------------------------------------
 class TestUnseededTrialSpec:
@@ -668,7 +732,7 @@ class TestCli:
             "DHS101", "DHS102", "DHS103",
             "DHS201", "DHS202", "DHS203",
             "DHS301", "DHS401", "DHS402", "DHS403",
-            "DHS501", "DHS502", "DHS601", "DHS901",
+            "DHS501", "DHS502", "DHS601", "DHS901", "DHS1001",
             # Whole-program dataflow rules.
             "DHS801", "DHS802", "DHS803",
             "DHS811", "DHS812", "DHS813",

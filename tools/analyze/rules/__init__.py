@@ -7,5 +7,6 @@ from tools.analyze.rules import (  # noqa: F401
     layering,
     observability,
     parallelism,
+    reconciliation,
     robustness,
 )
