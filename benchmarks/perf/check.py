@@ -13,6 +13,12 @@ hot-path regressions (which are typically 5-30x when a fast path stops
 being taken).  Exits non-zero on any regression or on an empty
 intersection of benchmark names.
 
+Two baselines are committed: ``baseline_smoke.json`` (the per-push
+``smoke`` preset) and ``baseline_scale.json`` (the ``scale`` preset's
+internet-scale families — ``ringbuild/n1e5`` and
+``multitenant/zipf_1e5`` — gated by the ``scale-smoke`` job).  The same
+shared-name ``ops_per_sec`` rule applies to both.
+
 ``parallel_scaling/*`` entries additionally carry an
 ``identical_to_serial`` flag (the harness's determinism contract: any
 worker count reproduces the serial rows bit for bit).  A false flag in

@@ -2,7 +2,7 @@
 
 Usage::
 
-    python benchmarks/perf/run.py [--preset smoke|default|full]
+    python benchmarks/perf/run.py [--preset smoke|default|full|scale]
                                   [--json BENCH_perf.json]
 
 Measures wall-clock throughput and per-op hop counts of the three DHS
@@ -10,7 +10,10 @@ hot paths — overlay lookups, bulk insertion, and distributed counting —
 and writes a machine-readable JSON trajectory (``BENCH_perf.json`` at
 the repo root by default).  CI runs the ``smoke`` preset on every push
 and fails if any microbenchmark regresses more than 3x against the
-committed ``baseline_smoke.json`` (see ``check.py``).
+committed ``baseline_smoke.json`` (see ``check.py``).  The ``scale``
+preset holds the internet-scale families (``ringbuild/n1e5``,
+``multitenant/zipf_1e5``) gated by the ``scale-smoke`` job against
+``baseline_scale.json``.
 
 Every entry carries a canonical ``ops_per_sec`` so the regression check
 and the report renderer need no per-benchmark knowledge; insert
@@ -104,6 +107,24 @@ PRESETS: Dict[str, Dict[str, Any]] = {
             "metrics": 6,
         },
     },
+    # Internet-scale families gated by the ``scale-smoke`` CI job against
+    # ``baseline_scale.json``.  Kept out of ``smoke`` so the per-push job
+    # stays fast; ``ringbuild`` exercises the lean SortedIdArray bulk
+    # construction path, ``multitenant`` the vectorized Zipf populate.
+    "scale": {
+        "ringbuild": [
+            {"n_nodes": 100_000, "label": "n1e5"},
+        ],
+        "multitenant": [
+            {
+                "n_nodes": 1024,
+                "n_tenants": 100_000,
+                "total_ops": 500_000,
+                "m": 64,
+                "label": "zipf_1e5",
+            },
+        ],
+    },
     "full": {
         "lookup": [
             {"n_nodes": 1024, "ops": 50_000},
@@ -166,6 +187,69 @@ def bench_lookup(n_nodes: int, ops: int, finger_cache: bool = True) -> Dict[str,
         "seconds": round(seconds, 4),
         "ops_per_sec": round(ops / seconds, 1),
         "hops_per_op": round(hops / ops, 3),
+    }
+
+
+def bench_ringbuild(n_nodes: int) -> Dict[str, Any]:
+    """Ring-construction throughput for the memory-lean overlay.
+
+    One op per node joined.  Best-of-3 so a scheduler hiccup on a cold
+    CI runner does not masquerade as a reintroduced quadratic (or
+    per-node-object) construction path.  Alongside the rate, the entry
+    records the resident membership footprint and how many ``Node``
+    objects construction materialized — the lean representation promises
+    8 B/node and zero, so drift here is visible in the trajectory even
+    before it is slow enough to trip the throughput gate.
+    """
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    best = float("inf")
+    gc.collect()
+    for _ in range(3):
+        start = time.perf_counter()
+        ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+        best = min(best, time.perf_counter() - start)
+    return {
+        "ops": n_nodes,
+        "seconds": round(best, 4),
+        "ops_per_sec": round(n_nodes / best, 1),
+        "membership_bytes_per_node": round(ring.membership_nbytes() / n_nodes, 2),
+        "nodes_materialized": len(ring._nodes),
+    }
+
+
+def bench_multitenant(
+    n_nodes: int, n_tenants: int, total_ops: int, m: int
+) -> Dict[str, Any]:
+    """Multi-tenant Zipf populate throughput (one op per observation).
+
+    Draws the Zipf per-tenant operation counts, then times the single
+    vectorized ``populate_tenants`` pass that hashes every tenant's
+    items and stores them through their Zipf-chosen inserter nodes.  The
+    resulting per-node storage balance rides along so the trajectory
+    shows skew drift, not just speed.
+    """
+    from repro.experiments.multitenant import populate_tenants
+    from repro.workloads.multitenant import load_balance, tenant_op_counts
+
+    ring = ChordRing.build(n_nodes, bits=64, seed=SEED)
+    dhs = DistributedHashSketch(
+        ring, DHSConfig(num_bitmaps=m, key_bits=24), seed=SEED
+    )
+    ops = tenant_op_counts(n_tenants, total_ops, theta=0.7, seed=SEED)
+    gc.collect()
+    start = time.perf_counter()
+    populate_tenants(dhs, ops, seed=SEED)
+    seconds = time.perf_counter() - start
+    balance = load_balance(
+        np.fromiter(dhs.storage_per_node().values(), dtype=np.float64)
+    )
+    return {
+        "ops": total_ops,
+        "seconds": round(seconds, 4),
+        "ops_per_sec": round(total_ops / seconds, 1),
+        "active_tenants": int(np.count_nonzero(ops)),
+        "storage_max_mean": round(balance.max_mean, 3),
+        "storage_gini": round(balance.gini, 3),
     }
 
 
@@ -572,7 +656,19 @@ def run_suite(preset: str, only: set | None = None) -> Dict[str, Any]:
     def want(family: str) -> bool:
         return only is None or family in only
 
-    for spec in sizes["lookup"] if want("lookup") else []:
+    for spec in sizes.get("ringbuild", []) if want("ringbuild") else []:
+        name = f"ringbuild/{spec['label']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_ringbuild(spec["n_nodes"])
+
+    for spec in sizes.get("multitenant", []) if want("multitenant") else []:
+        name = f"multitenant/{spec['label']}"
+        print(f"[perf] {name} ...", flush=True)
+        benchmarks[name] = bench_multitenant(
+            spec["n_nodes"], spec["n_tenants"], spec["total_ops"], spec["m"]
+        )
+
+    for spec in sizes.get("lookup", []) if want("lookup") else []:
         name = f"lookup/n{spec['n_nodes']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_lookup(spec["n_nodes"], spec["ops"])
@@ -582,7 +678,7 @@ def run_suite(preset: str, only: set | None = None) -> Dict[str, Any]:
             spec["n_nodes"], max(spec["ops"] // 4, 500), finger_cache=False
         )
 
-    for spec in sizes["insert"] if want("insert") else []:
+    for spec in sizes.get("insert", []) if want("insert") else []:
         n_nodes = spec["n_nodes"]
         array_name = f"bulk_insert_array/n{n_nodes}_items{spec['array_items']}"
         print(f"[perf] {array_name} ...", flush=True)
@@ -600,7 +696,7 @@ def run_suite(preset: str, only: set | None = None) -> Dict[str, Any]:
             2,
         )
 
-    for spec in sizes["count"] if want("count") else []:
+    for spec in sizes.get("count", []) if want("count") else []:
         name = f"count/n{spec['n_nodes']}_m{spec['m']}"
         print(f"[perf] {name} ...", flush=True)
         benchmarks[name] = bench_count(
@@ -674,8 +770,8 @@ def main(argv: List[str]) -> int:
         "--only",
         default=None,
         help="comma-separated benchmark families to run "
-        "(lookup,insert,count,count_faulty,count_regstore,count_traced,"
-        "insert_traced,parallel,parallel_shared)",
+        "(ringbuild,multitenant,lookup,insert,count,count_faulty,"
+        "count_regstore,count_traced,insert_traced,parallel,parallel_shared)",
     )
     args = parser.parse_args(argv)
     only = {part.strip() for part in args.only.split(",") if part.strip()} if args.only else None

@@ -37,10 +37,15 @@ from repro.experiments.histogram_types import (
 )
 from repro.experiments.insertion import run_insertion_experiment
 from repro.experiments.multidim import format_multidim, run_multidim
+from repro.experiments.multitenant import format_multitenant, run_multitenant
 from repro.experiments.query_opt import run_query_opt
 from repro.experiments.faultmatrix import format_faultmatrix, run_faultmatrix
 from repro.experiments.robustness import format_robustness, run_failure_robustness
-from repro.experiments.scalability import format_scalability, run_scalability
+from repro.experiments.scalability import (
+    format_scalability,
+    run_scalability,
+    sweep_node_counts,
+)
 from repro.experiments.soak import format_soak, run_soak
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.table3 import format_table3, run_table3
@@ -84,8 +89,22 @@ def _run_scalability(args: argparse.Namespace) -> str:
     kwargs = {"seed": args.seed}
     if args.scale is not None:
         kwargs["scale"] = args.scale
+    if args.nodes is not None:
+        # --nodes caps the geometric N=10^3 -> N sweep (e.g. 1000000
+        # runs the full 1e3/1e4/1e5/1e6 ladder locally).
+        kwargs["node_counts"] = sweep_node_counts(args.nodes)
     kwargs["jobs"] = args.jobs
     return format_scalability(run_scalability(**kwargs))
+
+
+def _run_multitenant(args: argparse.Namespace) -> str:
+    kwargs = {"seed": args.seed}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.nodes is not None:
+        kwargs["node_counts"] = (args.nodes,)
+    kwargs["jobs"] = args.jobs
+    return format_multitenant(run_multitenant(**kwargs))
 
 
 def _run_accuracy(args: argparse.Namespace) -> str:
@@ -193,6 +212,7 @@ EXPERIMENTS: Dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "query-opt": (_run_query_opt, "§5.2 join-ordering savings"),
     "baselines": (_run_baselines, "§1 related-work families comparison"),
     "multidim": (_run_multidim, "§4.2 multi-dimension counting"),
+    "multitenant": (_run_multitenant, "multi-tenant Zipf workload: storage balance at scale"),
     "churn": (_run_churn, "§3.3 soft-state maintenance under churn"),
     "robustness": (_run_robustness, "§3.5 undetected failures vs replication"),
     "faultmatrix": (_run_faultmatrix, "fault kind x intensity x policy x R matrix"),

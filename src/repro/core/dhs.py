@@ -363,11 +363,18 @@ class DistributedHashSketch:
         )
 
     def storage_per_node(self) -> Dict[int, int]:
-        """DHS entries stored at each live node."""
-        return {
-            node_id: storage_entries(self.dht.node(node_id))
-            for node_id in self.dht.node_ids()
-        }
+        """DHS entries stored at each live node.
+
+        Unmaterialized members (lazy membership at N=10^5–10^6) have by
+        construction never been written to, so they count as 0 entries
+        without being materialized — the full map stays O(N) ints, not
+        O(N) node objects.
+        """
+        result: Dict[int, int] = {}
+        for node_id in self.dht.node_ids():
+            node = self.dht.node_if_materialized(node_id)
+            result[node_id] = 0 if node is None else storage_entries(node)
+        return result
 
     def storage_bytes_per_node(self) -> Dict[int, float]:
         """Approximate stored bytes per node (entries × tuple size)."""

@@ -32,6 +32,10 @@ __all__ = [
     "BUCKETS_PROBES",
     "BUCKETS_BITS",
     "BUCKETS_SEGMENTS",
+    "GAUGE_RING_BUILD_SECONDS",
+    "GAUGE_RING_MEMBERSHIP_BYTES_PER_NODE",
+    "GAUGE_RING_NODE_HEAP_BYTES",
+    "GAUGE_RING_PEAK_RSS_BYTES",
     "METRIC_BUCKETS",
     "Histogram",
     "MetricsRegistry",
@@ -71,6 +75,30 @@ METRIC_BUCKETS: Mapping[str, Tuple[float, ...]] = {
 
 #: Fallback bounds for histograms not in the catalogue.
 _DEFAULT_BUCKETS: Tuple[float, ...] = BUCKETS_HOPS
+
+# ----------------------------------------------------------------------
+# Scale-tier gauge names (ring-construction instrumentation).
+#
+# ``membership_bytes_per_node`` is a pure function of the deployment and
+# may be set from experiment trial cells.  ``build_seconds`` and
+# ``peak_rss_bytes`` carry wall-clock / process state and MUST only be
+# set by benchmarks and scale-tier tests — never inside a trial cell,
+# where they would break the DHS_JOBS bit-identity contract.
+# ----------------------------------------------------------------------
+
+#: Wall-clock seconds to construct the overlay (benchmarks/tests only).
+GAUGE_RING_BUILD_SECONDS = "dhs.ring.build_seconds"
+
+#: Bytes of membership state per live node (deterministic).
+GAUGE_RING_MEMBERSHIP_BYTES_PER_NODE = "dhs.ring.membership_bytes_per_node"
+
+#: tracemalloc-measured heap bytes per node for a reference ring build
+#: (memory-regression test only).
+GAUGE_RING_NODE_HEAP_BYTES = "dhs.ring.node_heap_bytes"
+
+#: Peak resident set size observed around a ring build (benchmarks/tests
+#: only; 0.0 where the platform cannot report it).
+GAUGE_RING_PEAK_RSS_BYTES = "dhs.ring.peak_rss_bytes"
 
 
 class Resettable(Protocol):

@@ -13,14 +13,14 @@ hop/bandwidth accounting the evaluation reports.
 
 from __future__ import annotations
 
-import bisect
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple, cast
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, cast
 
 from repro.errors import EmptyOverlayError, LookupFailedError, NodeNotFoundError
 from repro.obs import runtime as obs
+from repro.overlay.idarray import SortedIdArray
 from repro.overlay.idspace import IdSpace
 from repro.overlay.node import Node, StoreValue
 from repro.overlay.stats import LoadTracker, OpCost
@@ -59,12 +59,23 @@ class DHTProtocol(ABC):
 
     Subclasses implement the geometry: who is responsible for a key, and
     how a lookup is routed hop by hop.
+
+    Membership is memory-lean (see docs/PERFORMANCE.md): the ground
+    truth is ``_ids``, a contiguous numpy-backed sorted id array, and
+    ``_nodes`` holds only the *materialized* subset — nodes that have
+    been routed a write, probed, or individually mutated.  A member
+    absent from ``_nodes`` is an implicitly-alive node with an empty
+    store; :meth:`node` materializes it on first touch.  Building an
+    N=10^6 ring therefore allocates one 8 MB array, not 10^6 Python
+    objects.
     """
 
     def __init__(self, space: IdSpace, trace: bool = False) -> None:
         self.space = space
+        #: Materialized nodes only; membership truth lives in ``_ids``.
         self._nodes: dict[int, Node] = {}
-        self._ids: List[int] = []  # sorted ids of live nodes
+        #: Sorted ids of all live members (numpy-backed).
+        self._ids: SortedIdArray = SortedIdArray(bits=space.bits)
         #: Whether operations record per-hop ``nodes_visited`` lists.
         #: Off by default: the counters (hops/messages/bytes) are always
         #: kept, but the per-hop list append in the innermost routing
@@ -108,29 +119,72 @@ class DHTProtocol(ABC):
         current fault state (partitioned peers rejoin the schedule when
         the outage lifts).
         """
-        return [nid for nid in self._ids if self.node_responsive(nid)]
+        fault = self.fault_layer
+        nodes = self._nodes
+        out: List[int] = []
+        for nid in self._ids:
+            node = nodes.get(nid)
+            if node is not None and not node.alive:
+                continue  # unmaterialized members are alive by invariant
+            if fault is not None and not fault.responsive(nid):
+                continue
+            out.append(nid)
+        return out
 
     def node(self, node_id: int) -> Node:
-        """The :class:`Node` for ``node_id``; raises if unknown/dead."""
-        try:
-            return self._nodes[node_id]
-        except KeyError:
-            raise NodeNotFoundError(node_id) from None
+        """The :class:`Node` for ``node_id``; raises if unknown/dead.
+
+        Materializes the node on first touch: an unmaterialized member
+        is an alive node with an empty store.
+        """
+        node = self._nodes.get(node_id)
+        if node is not None:
+            return node
+        if node_id in self._ids:
+            node = Node(node_id)
+            self._nodes[node_id] = node
+            return node
+        raise NodeNotFoundError(node_id)
+
+    def node_if_materialized(self, node_id: int) -> Optional[Node]:
+        """The :class:`Node` if it has been materialized, else ``None``.
+
+        Load-balance snapshots use this to read per-node storage without
+        allocating Node objects for the (empty) untouched members.
+        """
+        return self._nodes.get(node_id)
 
     def has_node(self, node_id: int) -> bool:
         """Whether ``node_id`` is a live member."""
-        return node_id in self._nodes
+        return node_id in self._ids
+
+    def membership_nbytes(self) -> int:
+        """Bytes held by the membership id array (capacity included)."""
+        return self._ids.nbytes
 
     def add_node(self, node_id: int) -> Node:
         """Join a new (empty) node under ``node_id``."""
         node_id = self.space.wrap(node_id)
-        if node_id in self._nodes:
+        if node_id in self._ids:
             raise ValueError(f"node id {node_id:#x} already present")
         node = Node(node_id)
         self._nodes[node_id] = node
         self._insert_sorted(node_id)
         self._on_join(node_id)
         return node
+
+    def add_nodes_bulk(self, node_ids: Iterable[int]) -> None:
+        """Join many (empty) nodes in one vectorized membership merge.
+
+        The bulk construction path: no Node objects are materialized and
+        the sorted id array is rebuilt with a single sort instead of one
+        binary-insertion shift per join.  Derived routing caches are
+        invalidated wholesale via :meth:`_on_bulk_join`.  Raises
+        ``ValueError`` on any duplicate id, leaving membership unchanged.
+        """
+        wrapped = [self.space.wrap(node_id) for node_id in node_ids]
+        self._ids.merge(wrapped)
+        self._on_bulk_join()
 
     def remove_node(self, node_id: int, graceful: bool = True) -> None:
         """Remove a node.
@@ -141,10 +195,15 @@ class DHTProtocol(ABC):
         node's data is lost — the case the replication machinery exists
         for.
         """
-        node = self.node(node_id)
+        if node_id not in self._ids:
+            raise NodeNotFoundError(node_id)
+        node = self._nodes.pop(node_id, None)
         self._delete_sorted(node_id)
-        del self._nodes[node_id]
         self._on_leave(node_id)
+        if node is None:
+            # Never materialized: empty store, no live references —
+            # nothing to merge and no alive flag anyone can observe.
+            return
         node.alive = False
         if graceful and self._ids:
             heir = self.node(self.successor_id(node_id))
@@ -178,22 +237,36 @@ class DHTProtocol(ABC):
         self.node(node_id).alive = False
 
     def is_alive(self, node_id: int) -> bool:
-        """Whether ``node_id`` is present and not lazily failed."""
+        """Whether ``node_id`` is present and not lazily failed.
+
+        One dict probe for materialized nodes; unmaterialized members
+        are alive by invariant (only :meth:`mark_failed` flips the flag,
+        and it materializes), so the fallback is a membership search.
+        """
         node = self._nodes.get(node_id)
-        return node is not None and node.alive
+        if node is not None:
+            return node.alive
+        return node_id in self._ids
 
     def live_node(self, node_id: int) -> Optional[Node]:
         """The :class:`Node` for ``node_id`` if present and alive, else ``None``.
 
         Fuses :meth:`is_alive` + :meth:`node` into one dict probe for the
-        bare-ring (no fault layer) counting fast path.
+        bare-ring (no fault layer) counting fast path; unmaterialized
+        members materialize on demand.
         """
         node = self._nodes.get(node_id)
-        return node if node is not None and node.alive else None
+        if node is not None:
+            return node if node.alive else None
+        if node_id in self._ids:
+            node = Node(node_id)
+            self._nodes[node_id] = node
+            return node
+        return None
 
     def repair(self, node_id: int) -> None:
         """Evict a discovered-dead node from the routing state."""
-        if node_id in self._nodes:
+        if node_id in self._ids:
             self.remove_node(node_id, graceful=False)
 
     # ------------------------------------------------------------------
@@ -248,14 +321,13 @@ class DHTProtocol(ABC):
         raise LookupFailedError("no responsive node reachable on the ring")
 
     def _insert_sorted(self, node_id: int) -> None:
-        index = bisect.bisect_left(self._ids, node_id)
-        self._ids.insert(index, node_id)
+        self._ids.insert(node_id)
 
     def _delete_sorted(self, node_id: int) -> None:
-        index = bisect.bisect_left(self._ids, node_id)
-        if index >= len(self._ids) or self._ids[index] != node_id:
-            raise NodeNotFoundError(node_id)
-        del self._ids[index]
+        try:
+            self._ids.remove(node_id)
+        except ValueError:
+            raise NodeNotFoundError(node_id) from None
 
     # ------------------------------------------------------------------
     # Membership-change hooks (for derived routing-state caches).
@@ -265,6 +337,12 @@ class DHTProtocol(ABC):
 
     def _on_leave(self, node_id: int) -> None:
         """Called after ``node_id`` left the sorted membership."""
+
+    def _on_bulk_join(self) -> None:
+        """Called once after :meth:`add_nodes_bulk` merged its batch.
+
+        Geometries with derived routing caches must invalidate them
+        wholesale here (a bulk join can stale any entry)."""
 
     # ------------------------------------------------------------------
     # Geometry.
@@ -279,17 +357,19 @@ class DHTProtocol(ABC):
 
     def successor_id(self, node_id: int) -> int:
         """Clockwise ring neighbour of ``node_id`` (numeric order)."""
-        if not self._ids:
+        ids = self._ids
+        if not ids:
             raise EmptyOverlayError("overlay has no live nodes")
-        index = bisect.bisect_right(self._ids, node_id)
-        return self._ids[index % len(self._ids)]
+        index = ids.bisect_right(node_id)
+        return ids[index % len(ids)]
 
     def predecessor_id(self, node_id: int) -> int:
         """Counter-clockwise ring neighbour of ``node_id``."""
-        if not self._ids:
+        ids = self._ids
+        if not ids:
             raise EmptyOverlayError("overlay has no live nodes")
-        index = bisect.bisect_left(self._ids, node_id)
-        return self._ids[index - 1]
+        index = ids.bisect_left(node_id)
+        return ids[index - 1]
 
     # ------------------------------------------------------------------
     # Storage primitives.

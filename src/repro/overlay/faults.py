@@ -36,7 +36,7 @@ bit-identical at any ``DHS_JOBS`` parallelism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, MessageDropped
 from repro.obs import runtime as obs
@@ -272,7 +272,9 @@ class FaultInjector(DHTProtocol, FaultHooks):
         if obs.TRACING:
             obs.TRACER.event("fault.rejoin", tick=self.clock, node=node_id)
         if self.has_node(node_id):
-            node = self._nodes[node_id]
+            # ``node()`` materializes on demand: an amnesia victim was
+            # marked failed (hence materialized), but be robust anyway.
+            node = self.node(node_id)
             node.store.clear()
             # The store is gone, so the incremental entry count must
             # follow — otherwise storage_entries reports phantom load
@@ -338,6 +340,9 @@ class FaultInjector(DHTProtocol, FaultHooks):
 
     def add_node(self, node_id: int) -> Node:
         return self.inner.add_node(node_id)
+
+    def add_nodes_bulk(self, node_ids: Iterable[int]) -> None:
+        self.inner.add_nodes_bulk(node_ids)
 
     def remove_node(self, node_id: int, graceful: bool = True) -> None:
         # A caller may have set ``store_merge`` on the injector; the

@@ -14,7 +14,6 @@ structure real Pastry maintains.
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError, EmptyOverlayError
@@ -56,13 +55,15 @@ class PastryOverlay(DHTProtocol):
                 f"cannot place {n_nodes} nodes in a {bits}-bit id space"
             )
         overlay = cls(space, digit_bits=digit_bits, seed=seed)
+        # Keep the id stream byte-identical to the seed behaviour; only
+        # the insertion switched to one vectorized bulk merge.
         rng = rng_for(seed, "pastry-ids")
         seen: set[int] = set()
         while len(seen) < n_nodes:
             candidate = rng.randrange(space.size)
             if candidate not in seen:
                 seen.add(candidate)
-                overlay.add_node(candidate)
+        overlay.add_nodes_bulk(seen)
         return overlay
 
     @classmethod
@@ -71,8 +72,7 @@ class PastryOverlay(DHTProtocol):
     ) -> "PastryOverlay":
         """Create an overlay from explicit node ids."""
         overlay = cls(IdSpace(bits), digit_bits=digit_bits, seed=seed)
-        for node_id in node_ids:
-            overlay.add_node(node_id)
+        overlay.add_nodes_bulk(node_ids)
         if overlay.size == 0:
             raise ConfigurationError("from_ids needs at least one node id")
         return overlay
@@ -88,6 +88,9 @@ class PastryOverlay(DHTProtocol):
         self._contact_cache.clear()
         super().remove_node(node_id, graceful=graceful)
 
+    def _on_bulk_join(self) -> None:
+        self._contact_cache.clear()
+
     # ------------------------------------------------------------------
     # Geometry.
     # ------------------------------------------------------------------
@@ -100,7 +103,7 @@ class PastryOverlay(DHTProtocol):
         if not self._ids:
             raise EmptyOverlayError("overlay has no live nodes")
         key = self.space.wrap(key)
-        index = bisect.bisect_left(self._ids, key)
+        index = self._ids.bisect_left(key)
         candidates = {
             self._ids[index % len(self._ids)],
             self._ids[index - 1],
@@ -124,8 +127,8 @@ class PastryOverlay(DHTProtocol):
         (and the next digit) with ``key``."""
         shift = self.space.bits - (digits + 1) * self.digit_bits
         base = (key >> shift) << shift
-        lo = bisect.bisect_left(self._ids, base)
-        hi = bisect.bisect_left(self._ids, base + (1 << shift))
+        lo = self._ids.bisect_left(base)
+        hi = self._ids.bisect_left(base + (1 << shift))
         return lo, hi
 
     def routing_contact(self, node_id: int, key: int) -> Optional[int]:

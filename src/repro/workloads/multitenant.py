@@ -1,0 +1,146 @@
+"""Multi-tenant Zipf workload: many concurrent metrics, skewed traffic.
+
+The paper evaluates one relation at a time; a production deployment of
+the ROADMAP's shape serves 10^5–10^6 concurrent ``metric_id``s whose
+traffic follows the usual heavy-tailed popularity law.  This module
+generates that workload deterministically:
+
+* :func:`tenant_op_counts` draws ``total_ops`` operations across
+  ``n_tenants`` tenants from a :class:`~repro.workloads.zipf.ZipfGenerator`
+  (theta-skewed, seeded) and returns the per-tenant operation counts;
+* :func:`tenant_item_ids` gives tenant ``t`` a disjoint block of the
+  item-id space (``t * 2^32 + k``), so distinct tenants never collide
+  and each tenant's true cardinality equals its op count;
+* :func:`load_balance` condenses a per-node storage (or access) vector
+  into the two balance figures the paper's uniform-load claim is judged
+  by: the max/mean ratio and the Gini coefficient.
+
+Everything is pure numpy on explicit seeds — bit-identical at any
+``DHS_JOBS`` width by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.errors import ConfigurationError
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "LoadBalance",
+    "TENANT_ID_STRIDE",
+    "gini_coefficient",
+    "load_balance",
+    "tenant_item_ids",
+    "tenant_metric",
+    "tenant_op_counts",
+]
+
+#: Width of each tenant's private block of the item-id space.  Tenant
+#: ``t`` owns item ids ``[t * stride, t * stride + count)``; with int64
+#: item ids this supports 2^31 tenants of up to 2^32 items each.
+TENANT_ID_STRIDE = 1 << 32
+
+
+def tenant_metric(tenant: int) -> Hashable:
+    """The DHS metric id under which tenant ``tenant`` counts."""
+    return ("tenant", tenant)
+
+
+def tenant_op_counts(
+    n_tenants: int,
+    total_ops: int,
+    theta: float = 0.7,
+    seed: int = 0,
+) -> npt.NDArray[np.int64]:
+    """Per-tenant operation counts for Zipf-distributed traffic.
+
+    Draws ``total_ops`` tenant choices from a Zipf(theta) law over
+    ``[1, n_tenants]`` (tenant 0 is the most popular) and histograms
+    them, so ``result[t]`` is how many operations tenant ``t`` receives
+    and ``result.sum() == total_ops``.
+    """
+    if n_tenants < 1:
+        raise ConfigurationError(f"n_tenants must be >= 1, got {n_tenants}")
+    if total_ops < 0:
+        raise ConfigurationError(f"total_ops must be >= 0, got {total_ops}")
+    if total_ops == 0:
+        return np.zeros(n_tenants, dtype=np.int64)
+    generator = ZipfGenerator(n_tenants, theta=theta)
+    samples = generator.sample(total_ops, seed=seed)
+    return np.bincount(samples - 1, minlength=n_tenants).astype(np.int64)
+
+
+def tenant_item_ids(tenant: int, count: int) -> npt.NDArray[np.int64]:
+    """The first ``count`` item ids of tenant ``tenant``'s private block.
+
+    Blocks are disjoint across tenants, so inserting these under
+    :func:`tenant_metric` gives the tenant an exact true cardinality of
+    ``count``.
+    """
+    if tenant < 0:
+        raise ConfigurationError(f"tenant must be >= 0, got {tenant}")
+    if not 0 <= count < TENANT_ID_STRIDE:
+        raise ConfigurationError(
+            f"count must be in [0, {TENANT_ID_STRIDE}), got {count}"
+        )
+    base = np.int64(tenant) * np.int64(TENANT_ID_STRIDE)
+    return base + np.arange(count, dtype=np.int64)
+
+
+def gini_coefficient(values: Union[Sequence[float], npt.NDArray[np.float64]]) -> float:
+    """Gini coefficient of a non-negative load vector (0 = uniform).
+
+    Uses the sorted-cumulative-share formula; an all-zero or empty
+    vector is perfectly balanced (0.0).
+    """
+    array = np.array(values, dtype=np.float64)
+    array.sort()
+    if array.size == 0:
+        return 0.0
+    if float(array[0]) < 0.0:
+        raise ConfigurationError("load values must be non-negative")
+    total = float(array.sum())
+    if total == 0.0:
+        return 0.0
+    n = array.size
+    cumulative_share = float(np.cumsum(array).sum()) / total
+    return float((n + 1 - 2.0 * cumulative_share) / n)
+
+
+@dataclass(frozen=True)
+class LoadBalance:
+    """Balance summary of one per-node load vector."""
+
+    n: int
+    mean: float
+    max: float
+    max_mean: float
+    gini: float
+
+
+def load_balance(
+    values: Union[Sequence[float], npt.NDArray[np.float64]]
+) -> LoadBalance:
+    """Condense a per-node load vector into the paper's balance figures.
+
+    ``max_mean`` is the max/mean entry ratio (1.0 = perfectly uniform;
+    defined as 0.0 for an all-zero vector), ``gini`` the Gini
+    coefficient of the same vector.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise ConfigurationError("load_balance needs at least one value")
+    mean = float(array.mean())
+    peak = float(array.max())
+    return LoadBalance(
+        n=int(array.size),
+        mean=mean,
+        max=peak,
+        max_mean=peak / mean if mean > 0.0 else 0.0,
+        gini=gini_coefficient(array),
+    )

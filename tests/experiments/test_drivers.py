@@ -7,6 +7,7 @@ at miniature scale so the suite stays fast.
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments.accuracy import format_accuracy, run_accuracy_sweep
 from repro.experiments.baselines import format_baselines, run_baseline_comparison
 from repro.experiments.common import CountSample, env_scale
@@ -120,6 +121,81 @@ class TestScalability:
         # 16x more nodes must NOT mean 16x more hops (logarithmic cost).
         assert by[(256, "sll")].hops < 6 * by[(16, "sll")].hops
         assert "Scalability" in format_scalability(rows)
+
+    def test_rows_carry_error_and_load_balance(self):
+        rows = run_scalability(
+            node_counts=(32,), num_bitmaps=16, scale=2e-4, trials=2, seed=3
+        )
+        for row in rows:
+            assert row.error >= 0.0
+            assert row.load_max_mean >= 1.0
+            assert 0.0 <= row.load_gini < 1.0
+
+    def test_log_fit_anchored_to_small_cells(self):
+        import math
+
+        from repro.experiments.scalability import (
+            ScalabilityRow,
+            fit_log2_coefficient,
+        )
+
+        rows = [
+            ScalabilityRow(1024, "sll", hops=50.0, nodes_visited=1, lookups=1),
+            ScalabilityRow(100_000, "sll", hops=999.0, nodes_visited=1, lookups=1),
+        ]
+        # Only the N<=1e4 cell shapes the fit: c = hops / log2(N).
+        assert fit_log2_coefficient(rows) == pytest.approx(50.0 / 10.0)
+        assert fit_log2_coefficient([rows[1]]) == 0.0
+        predicted = fit_log2_coefficient(rows) * math.log2(100_000)
+        assert predicted < 999.0
+
+    def test_sweep_node_counts_ladder(self):
+        from repro.experiments.scalability import sweep_node_counts
+
+        assert sweep_node_counts(1_000_000) == (1000, 10_000, 100_000, 1_000_000)
+        assert sweep_node_counts(50_000) == (1000, 10_000, 50_000)
+        assert sweep_node_counts(500) == (500,)
+        with pytest.raises(ConfigurationError):
+            sweep_node_counts(0)
+
+
+class TestMultitenant:
+    def test_small_run_balances_and_counts(self):
+        from repro.experiments.multitenant import format_multitenant, run_multitenant
+
+        rows = run_multitenant(
+            node_counts=(32,),
+            n_tenants=64,
+            total_ops=1024,
+            num_bitmaps=16,
+            count_tenants=2,
+            trials=2,
+            seed=4,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.active_tenants <= row.n_tenants
+        assert row.storage_max_mean >= 1.0
+        assert 0.0 <= row.storage_gini < 1.0
+        assert row.hops > 0 and row.error >= 0.0
+        assert row.membership_bytes_per_node == 8.0
+        assert "Multi-tenant" in format_multitenant(rows)
+
+    def test_parallel_identity(self):
+        from repro.experiments.multitenant import run_multitenant
+
+        kwargs = dict(
+            node_counts=(16, 64),
+            n_tenants=48,
+            total_ops=512,
+            num_bitmaps=16,
+            count_tenants=2,
+            trials=1,
+            seed=9,
+        )
+        assert run_multitenant(jobs=1, **kwargs) == run_multitenant(
+            jobs=3, **kwargs
+        )
 
 
 class TestAccuracy:

@@ -150,6 +150,63 @@ class TestRoutingEquivalence:
                 _assert_lookup_identical(cached, uncached, key, origin)
 
 
+class TestLazyEagerEquivalence:
+    """Sparse lazily-filled finger memos must answer ``lookup()``
+    identically to eagerly-built full tables (``materialize_fingers``)
+    across random join/leave sequences — materialization order is an
+    implementation detail that can never leak into routing."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.data())
+    def test_lookup_identical_lazy_vs_eager(self, data):
+        ids = data.draw(
+            st.sets(st.integers(0, 2**12 - 1), min_size=4, max_size=20)
+        )
+        lazy = ChordRing.from_ids(sorted(ids), bits=12, trace=True)
+        eager = ChordRing.from_ids(sorted(ids), bits=12, trace=True)
+        for node_id in list(eager.node_ids()):
+            eager.materialize_fingers(node_id)
+        steps = data.draw(st.integers(min_value=1, max_value=8))
+        for _ in range(steps):
+            op = data.draw(st.sampled_from(["join", "leave", "lookup"]))
+            if op == "join":
+                candidate = data.draw(st.integers(0, 2**12 - 1))
+                if not lazy.has_node(candidate):
+                    lazy.add_node(candidate)
+                    eager.add_node(candidate)
+            elif op == "leave" and lazy.size > 3:
+                victim = data.draw(st.sampled_from(sorted(lazy.node_ids())))
+                lazy.remove_node(victim)
+                eager.remove_node(victim)
+            # The eager ring re-materializes every table after churn;
+            # the lazy ring fills only what routing touches.
+            for node_id in list(eager.node_ids()):
+                eager.materialize_fingers(node_id)
+            key = data.draw(st.integers(0, 2**12 - 1))
+            origin = data.draw(st.sampled_from(sorted(lazy.node_ids())))
+            _assert_lookup_identical(lazy, eager, key, origin)
+            # Spot-check the finger definition itself.
+            node_id = data.draw(st.sampled_from(sorted(lazy.node_ids())))
+            i = data.draw(st.integers(min_value=0, max_value=11))
+            expected = lazy.owner_of((node_id + (1 << i)) % (1 << 12))
+            assert lazy.finger(node_id, i) == expected
+            assert eager.finger(node_id, i) == expected
+
+    def test_materialize_fingers_fills_full_table(self):
+        ring = ChordRing.from_ids([0, 64, 128, 192], bits=8)
+        table = ring.materialize_fingers(0)
+        assert set(table) == set(range(8))
+        assert table[5] == 64
+        assert ring._fingers[0] == table
+
+    def test_materialize_fingers_requires_cache(self):
+        from repro.errors import ConfigurationError
+
+        ring = ChordRing.from_ids([0, 64], bits=8, finger_cache=False)
+        with pytest.raises(ConfigurationError):
+            ring.materialize_fingers(0)
+
+
 class TestDeadOwnerEviction:
     def test_dead_owner_and_dead_first_successor(self):
         """Regression: when the key's owner *and* its first successor

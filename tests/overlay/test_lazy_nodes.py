@@ -1,0 +1,122 @@
+"""Lazy node materialization and the memory-lean membership contract."""
+
+import tracemalloc
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.obs import runtime as obs
+from repro.obs.metrics import (
+    GAUGE_RING_MEMBERSHIP_BYTES_PER_NODE,
+    GAUGE_RING_NODE_HEAP_BYTES,
+)
+from repro.overlay.chord import ChordRing
+
+#: tracemalloc-peak budget per node for a bulk-built ring.  The lean
+#: path costs ~150 B/node transiently (the id-dedup set) and 8 B/node
+#: resident; reintroducing per-node Python objects (Node + dict entry,
+#: ~400+ B each) trips this immediately.
+HEAP_BYTES_PER_NODE_CEILING = 320
+
+#: Resident membership bytes per node (one uint64 array slot, plus
+#: slack for capacity-doubling growth after churn).
+MEMBERSHIP_BYTES_PER_NODE_CEILING = 16
+
+
+class TestLazyMaterialization:
+    def test_build_materializes_no_nodes(self):
+        ring = ChordRing.build(512, seed=3)
+        assert ring.size == 512
+        assert ring._nodes == {}
+
+    def test_node_materializes_on_demand(self):
+        ring = ChordRing.build(64, seed=3)
+        nid = ring.node_ids()[7]
+        assert ring.node_if_materialized(nid) is None
+        node = ring.node(nid)
+        assert node.node_id == nid and node.alive and node.store == {}
+        assert ring.node_if_materialized(nid) is node
+        assert ring.node(nid) is node  # same object on re-touch
+
+    def test_node_unknown_id_raises(self):
+        ring = ChordRing.build(8, seed=3)
+        missing = next(i for i in range(1000) if not ring.has_node(i))
+        with pytest.raises(NodeNotFoundError):
+            ring.node(missing)
+
+    def test_unmaterialized_members_are_alive(self):
+        ring = ChordRing.build(64, seed=3)
+        nid = ring.node_ids()[0]
+        assert ring.is_alive(nid)
+        assert ring.live_node(nid) is not None  # materializes
+        assert ring.node_if_materialized(nid) is not None
+
+    def test_mark_failed_materializes_and_kills(self):
+        ring = ChordRing.build(64, seed=3)
+        nid = ring.node_ids()[5]
+        ring.mark_failed(nid)
+        assert not ring.is_alive(nid)
+        assert ring.live_node(nid) is None
+        assert nid in [n for n in ring.node_ids()]  # still routable corpse
+
+    def test_remove_unmaterialized_node_graceful(self):
+        ring = ChordRing.build(64, seed=3)
+        nid = ring.node_ids()[9]
+        ring.remove_node(nid, graceful=True)
+        assert not ring.has_node(nid)
+        assert ring.size == 63
+        # Nothing to merge: the heir stays unmaterialized too.
+        assert ring.node_if_materialized(ring.successor_id(nid)) is None
+
+    def test_lookup_materializes_nothing(self):
+        ring = ChordRing.build(256, seed=3, trace=True)
+        origin = ring.node_ids()[0]
+        for key in (1, 2**32, 2**63):
+            result = ring.lookup(key, origin=origin)
+            assert ring.has_node(result.node_id)
+        assert ring._nodes == {}
+
+    def test_store_materializes_only_the_owner(self):
+        ring = ChordRing.build(256, seed=3)
+        ring.store(123456789, lambda node: node.store.__setitem__("k", 1))
+        assert len(ring._nodes) == 1
+
+    def test_responsive_node_ids_skips_dead_materialized(self):
+        ring = ChordRing.build(32, seed=3)
+        victim = ring.node_ids()[4]
+        ring.mark_failed(victim)
+        responsive = ring.responsive_node_ids()
+        assert victim not in responsive
+        assert len(responsive) == 31
+
+    def test_bulk_join_resets_routing_caches(self):
+        ring = ChordRing.build(32, seed=3)
+        origin = ring.node_ids()[0]
+        ring.lookup(1 << 40, origin=origin)  # warm fingers + owner memo
+        new_ids = [i for i in range(100, 2100, 100) if not ring.has_node(i)]
+        ring.add_nodes_bulk(new_ids)
+        assert ring.size == 32 + len(new_ids)
+        assert ring._fingers == {} and ring._owner_cache == {}
+        # Ownership reflects the merged membership.
+        assert ring.owner_of(100) == 100
+
+
+class TestMemoryRegression:
+    def test_bulk_build_heap_ceiling_n1e4(self):
+        """A refactor reintroducing per-node dict bloat fails here."""
+        n = 10_000
+        tracemalloc.start()
+        try:
+            ring = ChordRing.build(n, seed=13)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        heap_per_node = peak / n
+        membership_per_node = ring.membership_nbytes() / ring.size
+        obs.METRICS.set_gauge(GAUGE_RING_NODE_HEAP_BYTES, heap_per_node)
+        obs.METRICS.set_gauge(
+            GAUGE_RING_MEMBERSHIP_BYTES_PER_NODE, membership_per_node
+        )
+        assert ring._nodes == {}
+        assert heap_per_node < HEAP_BYTES_PER_NODE_CEILING
+        assert membership_per_node <= MEMBERSHIP_BYTES_PER_NODE_CEILING

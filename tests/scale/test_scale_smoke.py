@@ -1,0 +1,92 @@
+"""Internet-scale smoke tier (run with ``pytest -m scale``).
+
+Excluded from tier-1 by the ``-m "not scale"`` default: these tests
+build N=10^5 rings, which is seconds of work rather than milliseconds.
+They gate the ROADMAP's deployment-size axis: ring construction within
+a fixed budget, O(log N) routing at a size the paper only extrapolated
+to, and ``DHS_JOBS`` byte-identity for a full counting cell at N=10^5.
+
+Wall-clock and RSS measurements live here (and in benchmarks) ONLY —
+never inside experiment trial cells, where they would break the
+bit-identity contract.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.experiments.scalability import fit_log2_coefficient, run_scalability
+from repro.obs import runtime as obs
+from repro.obs.metrics import (
+    GAUGE_RING_BUILD_SECONDS,
+    GAUGE_RING_PEAK_RSS_BYTES,
+)
+from repro.overlay.chord import ChordRing
+from repro.sim.seeds import rng_for
+
+pytestmark = pytest.mark.scale
+
+#: The scale-tier deployment size (3 orders past the paper's 1024).
+N_SCALE = 100_000
+
+#: Generous wall-clock budget for building the N=10^5 ring (measured
+#: ~0.1 s on a dev box; the budget absorbs slow CI runners while still
+#: catching a reintroduced quadratic construction path instantly).
+BUILD_BUDGET_SECONDS = 30.0
+
+
+def _peak_rss_bytes() -> float:
+    try:
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+    except (ImportError, ValueError):  # pragma: no cover - non-POSIX
+        return 0.0
+
+
+class TestScaleSmoke:
+    def test_ring_build_within_budget(self):
+        started = time.perf_counter()
+        ring = ChordRing.build(N_SCALE, seed=13)
+        elapsed = time.perf_counter() - started
+        obs.METRICS.set_gauge(GAUGE_RING_BUILD_SECONDS, elapsed)
+        obs.METRICS.set_gauge(GAUGE_RING_PEAK_RSS_BYTES, _peak_rss_bytes())
+        assert ring.size == N_SCALE
+        assert elapsed < BUILD_BUDGET_SECONDS
+        assert ring._nodes == {}  # memory-lean: zero nodes materialized
+        assert ring.membership_nbytes() / ring.size <= 16
+
+    def test_mean_lookup_hops_tracks_half_log2_n(self):
+        ring = ChordRing.build(N_SCALE, seed=13)
+        rng = rng_for(13, "scale-lookups")
+        hops = []
+        for _ in range(300):
+            origin = ring.random_live_node(rng)
+            key = rng.randrange(ring.space.size)
+            hops.append(ring.lookup(key, origin=origin).cost.hops)
+        mean_hops = sum(hops) / len(hops)
+        expected = 0.5 * math.log2(N_SCALE)  # ~8.3 hops
+        assert mean_hops <= 2.0 * expected
+        assert mean_hops >= 0.25 * expected  # sanity floor: still routing
+
+    def test_seeded_count_byte_identical_across_jobs_and_log_fit(self):
+        """One N=10^5 counting cell: DHS_JOBS=1 == DHS_JOBS=4 bit-for-bit,
+        and measured counting hops stay within 2x of the O(log N) fit
+        anchored to the paper-sized (N<=10^4) cells."""
+        kwargs = dict(
+            node_counts=(1000, 10_000, N_SCALE),
+            num_bitmaps=32,
+            scale=1e-3,
+            trials=2,
+            seed=7,
+        )
+        serial = run_scalability(jobs=1, **kwargs)
+        parallel = run_scalability(jobs=4, **kwargs)
+        assert serial == parallel  # byte-identity at any DHS_JOBS width
+        coefficient = fit_log2_coefficient(serial)
+        assert coefficient > 0.0
+        for row in serial:
+            if row.n_nodes == N_SCALE:
+                predicted = coefficient * math.log2(row.n_nodes)
+                assert row.hops <= 2.0 * predicted

@@ -18,6 +18,7 @@ class TestCatalogue:
             "query-opt",
             "baselines",
             "multidim",
+            "multitenant",
             "churn",
             "robustness",
             "faultmatrix",

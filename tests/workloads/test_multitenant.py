@@ -1,0 +1,102 @@
+"""Tests for the multi-tenant Zipf workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.multitenant import (
+    TENANT_ID_STRIDE,
+    gini_coefficient,
+    load_balance,
+    tenant_item_ids,
+    tenant_metric,
+    tenant_op_counts,
+)
+
+
+class TestTenantOpCounts:
+    def test_conserves_total_and_is_deterministic(self):
+        ops = tenant_op_counts(100, 5000, theta=0.7, seed=11)
+        assert ops.shape == (100,)
+        assert int(ops.sum()) == 5000
+        again = tenant_op_counts(100, 5000, theta=0.7, seed=11)
+        assert np.array_equal(ops, again)
+
+    def test_skew_puts_most_traffic_on_low_tenants(self):
+        ops = tenant_op_counts(1000, 50_000, theta=0.9, seed=2)
+        head = int(ops[:10].sum())
+        tail = int(ops[-10:].sum())
+        assert head > 5 * max(tail, 1)
+        assert int(ops[0]) == int(ops.max())
+
+    def test_seed_changes_draw(self):
+        a = tenant_op_counts(50, 1000, seed=1)
+        b = tenant_op_counts(50, 1000, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_zero_ops(self):
+        assert int(tenant_op_counts(10, 0).sum()) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tenant_op_counts(0, 10)
+        with pytest.raises(ConfigurationError):
+            tenant_op_counts(10, -1)
+
+
+class TestTenantItemIds:
+    def test_blocks_are_disjoint(self):
+        a = tenant_item_ids(0, 100)
+        b = tenant_item_ids(1, 100)
+        assert a[0] == 0 and a[-1] == 99
+        assert b[0] == TENANT_ID_STRIDE
+        assert not set(a.tolist()) & set(b.tolist())
+
+    def test_large_tenant_index_stays_in_int64(self):
+        ids = tenant_item_ids(1_000_000, 3)
+        assert ids.dtype == np.int64
+        assert int(ids[0]) == 1_000_000 * TENANT_ID_STRIDE
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            tenant_item_ids(-1, 10)
+        with pytest.raises(ConfigurationError):
+            tenant_item_ids(0, TENANT_ID_STRIDE)
+
+    def test_metric_ids_distinct(self):
+        assert tenant_metric(3) != tenant_metric(4)
+        assert tenant_metric(3) == ("tenant", 3)
+
+
+class TestLoadBalance:
+    def test_uniform_vector(self):
+        balance = load_balance([5.0, 5.0, 5.0, 5.0])
+        assert balance.max_mean == 1.0
+        assert balance.gini == 0.0
+        assert balance.n == 4 and balance.mean == 5.0 and balance.max == 5.0
+
+    def test_fully_concentrated_vector(self):
+        balance = load_balance([0.0, 0.0, 0.0, 12.0])
+        assert balance.max_mean == 4.0
+        assert balance.gini == pytest.approx(0.75)
+
+    def test_all_zero_vector_is_balanced(self):
+        balance = load_balance([0.0, 0.0])
+        assert balance.max_mean == 0.0
+        assert balance.gini == 0.0
+
+    def test_gini_edge_cases(self):
+        assert gini_coefficient([]) == 0.0
+        assert gini_coefficient([3.0]) == 0.0
+        with pytest.raises(ConfigurationError):
+            gini_coefficient([-1.0, 2.0])
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_balance([])
+
+    def test_gini_scale_invariant(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        assert gini_coefficient(values) == pytest.approx(
+            gini_coefficient([10 * v for v in values])
+        )
